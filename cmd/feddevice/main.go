@@ -1,0 +1,91 @@
+// Command feddevice runs one edge device of Fig. 1 as a standalone process:
+// a simulated Jetson-Nano-class processor, a workload stream of the named
+// applications, and the local RL power controller. It connects to a
+// fedserver instance over TCP and participates in every federated round —
+// T control steps of Algorithm 1 per round, then the model exchange.
+package main
+
+import (
+	"flag"
+	"log"
+	"math/rand"
+	"strings"
+
+	"fedpower"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("feddevice: ")
+
+	server := flag.String("server", "127.0.0.1:7070", "aggregation server address")
+	apps := flag.String("apps", "fft,lu", "comma-separated training applications (SPLASH-2 names)")
+	steps := flag.Int("steps", 100, "control steps per round T")
+	interval := flag.Float64("interval", 0.5, "DVFS control interval in simulated seconds")
+	seed := flag.Int64("seed", 42, "device random seed")
+	save := flag.String("save", "", "write the final global model to this .fpm file")
+	flag.Parse()
+
+	var specs []fedpower.AppSpec
+	for _, name := range strings.Split(*apps, ",") {
+		spec, err := fedpower.AppByName(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = append(specs, spec)
+	}
+
+	table := fedpower.JetsonNanoTable()
+	params := fedpower.DefaultControllerParams(table.Len())
+	dev := fedpower.NewDevice(table, fedpower.DefaultPowerModel(), rand.New(rand.NewSource(*seed)))
+	ctrl := fedpower.NewController(params, rand.New(rand.NewSource(*seed+1)))
+	stream := fedpower.NewStream(rand.New(rand.NewSource(*seed+2)), specs)
+
+	// Bootstrap: load the first application and take one observation at the
+	// mid-range level, as a default governor would.
+	dev.Load(stream.Next())
+	dev.SetLevel(table.Len() / 2)
+	obs := dev.Step(*interval)
+
+	var state []float64
+	trainRound := func(round int, global []float64) ([]float64, error) {
+		ctrl.SetModelParams(global)
+		var reward float64
+		for t := 0; t < *steps; t++ {
+			if dev.Done() {
+				dev.Load(stream.Next())
+			}
+			state = fedpower.StateVector(obs, state)
+			action := ctrl.SelectAction(state)
+			dev.SetLevel(action)
+			obs = dev.Step(*interval)
+			r := params.Reward.Reward(obs.NormFreq, obs.PowerW)
+			ctrl.Observe(state, action, r)
+			reward += r
+		}
+		log.Printf("round %d: avg training reward %.3f, tau %.3f, buffer %d/%d",
+			round, reward/float64(*steps), ctrl.Tau(), ctrl.Buffer().Len(), ctrl.Buffer().Cap())
+		return ctrl.ModelParams(), nil
+	}
+
+	conn, err := fedpower.Dial(*server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	log.Printf("connected to %s, training on %s", *server, *apps)
+
+	final, err := conn.Participate(fedpower.FederatedClientFunc(trainRound))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl.SetModelParams(final)
+	log.Printf("training complete: %d params in final global model, %d B sent, %d B received",
+		len(final), conn.BytesSent(), conn.BytesReceived())
+	if *save != "" {
+		if err := fedpower.SaveModel(*save, final); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("final model saved to %s", *save)
+	}
+}

@@ -1,0 +1,83 @@
+// Command fedserver runs the central aggregation server of Fig. 1 over TCP:
+// it waits for the configured number of device processes (cmd/feddevice),
+// drives R rounds of synchronous federated averaging, and writes the final
+// global model to stdout as comma-separated float64 values (or to a file).
+//
+// Typical session (two terminals plus the server):
+//
+//	fedserver -addr :7070 -devices 2 -rounds 100
+//	feddevice -server localhost:7070 -apps fft,lu
+//	feddevice -server localhost:7070 -apps ocean,radix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"fedpower"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fedserver: ")
+
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	devices := flag.Int("devices", 2, "number of device clients to wait for")
+	rounds := flag.Int("rounds", 100, "federated rounds R")
+	seed := flag.Int64("seed", 1, "seed for the initial global model")
+	out := flag.String("out", "", "write the final model as comma-separated text to this file instead of stdout")
+	modelPath := flag.String("model", "", "also write the final model in the binary .fpm format (loadable with fedpower.LoadModel)")
+	flag.Parse()
+
+	table := fedpower.JetsonNanoTable()
+	params := fedpower.DefaultControllerParams(table.Len())
+	initial := fedpower.NewController(params, rand.New(rand.NewSource(*seed))).ModelParams()
+
+	srv, err := fedpower.NewServer(*addr, *devices, *rounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("listening on %s for %d devices, %d rounds, %d model parameters (%d B per transfer)",
+		srv.Addr(), *devices, *rounds, len(initial), fedpower.TransferSize(len(initial)))
+
+	final, err := srv.Serve(initial, func(round int, global []float64) {
+		if round%10 == 0 || round == *rounds {
+			log.Printf("round %d/%d aggregated (sent %d B, received %d B so far)",
+				round, *rounds, srv.BytesSent(), srv.BytesReceived())
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *modelPath != "" {
+		if err := fedpower.SaveModel(*modelPath, final); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("binary model written to %s", *modelPath)
+	}
+
+	text := formatModel(final)
+	if *out == "" {
+		fmt.Println(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text+"\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("final global model written to %s", *out)
+}
+
+func formatModel(params []float64) string {
+	parts := make([]string, len(params))
+	for i, p := range params {
+		parts[i] = strconv.FormatFloat(p, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}

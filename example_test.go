@@ -1,0 +1,102 @@
+package fedpower_test
+
+// Testable godoc examples for the core public API. Each runs as part of
+// the test suite and renders on the package documentation page.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedpower"
+)
+
+// ExampleJetsonNanoTable shows the evaluation platform's V/f range.
+func ExampleJetsonNanoTable() {
+	table := fedpower.JetsonNanoTable()
+	fmt.Printf("%d levels, %.0f-%.0f MHz\n", table.Len(), table.MinFreqMHz(), table.MaxFreqMHz())
+	fmt.Printf("level 8: %.1f MHz at %.3f V\n", table.Level(8).FreqMHz, table.Level(8).VoltV)
+	// Output:
+	// 15 levels, 102-1479 MHz
+	// level 8: 921.6 MHz at 1.068 V
+}
+
+// ExampleRewardParams_Reward evaluates Eq. (4) at its characteristic
+// points.
+func ExampleRewardParams_Reward() {
+	rp := fedpower.RewardParams{PCritW: 0.6, KOffsetW: 0.05}
+	fmt.Printf("under budget:   %+.2f\n", rp.Reward(1.0, 0.55))
+	fmt.Printf("soft band:      %+.2f\n", rp.Reward(1.0, 0.625))
+	fmt.Printf("negative band:  %+.2f\n", rp.Reward(1.0, 0.675))
+	fmt.Printf("saturated:      %+.2f\n", rp.Reward(1.0, 0.9))
+	// Output:
+	// under budget:   +1.00
+	// soft band:      +0.50
+	// negative band:  -0.50
+	// saturated:      -1.00
+}
+
+// ExampleNewController builds the paper's policy network and inspects its
+// size — the quantities behind the 2.8 kB federated transfer.
+func ExampleNewController() {
+	table := fedpower.JetsonNanoTable()
+	params := fedpower.DefaultControllerParams(table.Len())
+	ctrl := fedpower.NewController(params, rand.New(rand.NewSource(1)))
+	fmt.Printf("%d parameters, %d B per transfer\n", ctrl.NumParams(), fedpower.TransferSize(ctrl.NumParams()))
+	// Output:
+	// 687 parameters, 2757 B per transfer
+}
+
+// ExampleFederatedRun demonstrates one in-process federation: two clients
+// whose updates are averaged each round (Algorithm 2).
+func ExampleFederatedRun() {
+	add := func(delta float64) fedpower.FederatedClientFunc {
+		return func(round int, global []float64) ([]float64, error) {
+			out := make([]float64, len(global))
+			for i, g := range global {
+				out[i] = g + delta
+			}
+			return out, nil
+		}
+	}
+	global := []float64{0}
+	err := fedpower.FederatedRun(global, []fedpower.FederatedClient{add(2), add(4)}, 3, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("global after 3 rounds: %v\n", global[0])
+	// Output:
+	// global after 3 rounds: 9
+}
+
+// ExampleDevice_Step runs one noiseless control interval on the simulated
+// processor and reads the performance counters the agent observes.
+func ExampleDevice_Step() {
+	table := fedpower.JetsonNanoTable()
+	dev := fedpower.NewDevice(table, fedpower.DefaultPowerModel(), rand.New(rand.NewSource(1)))
+	dev.PowerNoiseW, dev.IPCNoiseRel = 0, 0 // deterministic sensors for the example
+
+	spec, _ := fedpower.AppByName("ocean")
+	dev.Load(fedpower.NewApp(spec))
+	dev.SetLevel(14) // memory-bound: f_max fits the budget
+	obs := dev.Step(0.5)
+	fmt.Printf("f=%.0f MHz  P=%.2f W  ipc=%.2f  mpki=%.1f\n", obs.FreqMHz, obs.PowerW, obs.IPC, obs.MPKI)
+	// Output:
+	// f=1479 MHz  P=0.48 W  ipc=0.27  mpki=24.2
+}
+
+// ExampleRoundsToReach computes the convergence-speed metric on a reward
+// trace.
+func ExampleRoundsToReach() {
+	trace := []fedpower.RoundEval{
+		{Round: 1, Reward: 0.1},
+		{Round: 2, Reward: 0.3},
+		{Round: 3, Reward: 0.55},
+		{Round: 4, Reward: 0.6},
+	}
+	fmt.Println(fedpower.RoundsToReach(trace, 0.5, 1))
+	fmt.Println(fedpower.RoundsToReach(trace, 0.9, 1))
+	// Output:
+	// 3
+	// -1
+}

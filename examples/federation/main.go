@@ -1,0 +1,141 @@
+// Federation: the paper's full deployment shape in one process — a TCP
+// aggregation server plus two "edge devices" running as goroutines, each
+// with its own simulated processor, disjoint training applications, replay
+// buffer and power controller. Only model parameters cross the sockets.
+//
+// Device A trains on compute-bound applications (water-ns, water-sp) and
+// device B on memory-bound ones (ocean, radix) — scenario 2 of Table II,
+// the case where local-only training fails hardest. After training, the
+// shared global policy is evaluated on applications *neither* pairing saw
+// alone, demonstrating the knowledge consolidation of federated learning.
+//
+//	go run ./examples/federation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"fedpower"
+)
+
+const (
+	rounds   = 60
+	steps    = 100
+	interval = 0.5
+)
+
+func main() {
+	table := fedpower.JetsonNanoTable()
+	params := fedpower.DefaultControllerParams(table.Len())
+	initial := fedpower.NewController(params, rand.New(rand.NewSource(99))).ModelParams()
+
+	srv, err := fedpower.NewServer("127.0.0.1:0", 2, rounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("aggregation server on %s — %d rounds, %d B per model transfer\n\n",
+		srv.Addr(), rounds, fedpower.TransferSize(len(initial)))
+
+	var wg sync.WaitGroup
+	runDevice := func(name string, seed int64, appNames []string) {
+		defer wg.Done()
+		if err := device(srv.Addr(), name, seed, appNames); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	wg.Add(2)
+	go runDevice("device-A", 10, []string{"water-ns", "water-sp"})
+	go runDevice("device-B", 20, []string{"ocean", "radix"})
+
+	final, err := srv.Serve(initial, func(round int, _ []float64) {
+		if round%20 == 0 {
+			fmt.Printf("server: round %d/%d aggregated\n", round, rounds)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+
+	// Evaluate the shared policy greedily on unseen applications.
+	fmt.Println("\nglobal policy on applications unseen by either device alone:")
+	ctrl := fedpower.NewController(params, rand.New(rand.NewSource(0)))
+	ctrl.SetModelParams(final)
+	for _, name := range []string{"fft", "raytrace", "barnes", "cholesky"} {
+		spec, err := fedpower.AppByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev := fedpower.NewDevice(table, fedpower.DefaultPowerModel(), rand.New(rand.NewSource(777)))
+		dev.Load(fedpower.NewApp(spec))
+		dev.SetLevel(table.Len() / 2)
+		obs := dev.Step(interval)
+		var rewardSum float64
+		var state []float64
+		const evalSteps = 30
+		for t := 0; t < evalSteps && !dev.Done(); t++ {
+			state = fedpower.StateVector(obs, state)
+			dev.SetLevel(ctrl.GreedyAction(state))
+			obs = dev.Step(interval)
+			rewardSum += params.Reward.Reward(obs.NormFreq, obs.PowerW)
+		}
+		st := dev.Stats()
+		fmt.Printf("  %-9s avg reward %+.3f, avg power %.2f W (budget %.1f W)\n",
+			name, rewardSum/evalSteps, st.AvgPowerW(), params.Reward.PCritW)
+	}
+}
+
+// device runs one federated participant over TCP: the same control loop a
+// real board would run, against the simulated processor.
+func device(server, name string, seed int64, appNames []string) error {
+	table := fedpower.JetsonNanoTable()
+	params := fedpower.DefaultControllerParams(table.Len())
+
+	specs := make([]fedpower.AppSpec, 0, len(appNames))
+	for _, n := range appNames {
+		spec, err := fedpower.AppByName(n)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, spec)
+	}
+
+	dev := fedpower.NewDevice(table, fedpower.DefaultPowerModel(), rand.New(rand.NewSource(seed)))
+	ctrl := fedpower.NewController(params, rand.New(rand.NewSource(seed+1)))
+	stream := fedpower.NewStream(rand.New(rand.NewSource(seed+2)), specs)
+
+	dev.Load(stream.Next())
+	dev.SetLevel(table.Len() / 2)
+	obs := dev.Step(interval)
+
+	var state []float64
+	conn, err := fedpower.Dial(server)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	_, err = conn.Participate(fedpower.FederatedClientFunc(func(round int, global []float64) ([]float64, error) {
+		ctrl.SetModelParams(global)
+		for t := 0; t < steps; t++ {
+			if dev.Done() {
+				dev.Load(stream.Next())
+			}
+			state = fedpower.StateVector(obs, state)
+			action := ctrl.SelectAction(state)
+			dev.SetLevel(action)
+			obs = dev.Step(interval)
+			ctrl.Observe(state, action, params.Reward.Reward(obs.NormFreq, obs.PowerW))
+		}
+		return ctrl.ModelParams(), nil
+	}))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: done (%d B sent, %d B received)\n", name, conn.BytesSent(), conn.BytesReceived())
+	return nil
+}

@@ -1,0 +1,256 @@
+package fedpower_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedpower"
+)
+
+// TestDefaultConfigMatchesPaper verifies Table I through the public API —
+// the experiment-index entry T1 in DESIGN.md.
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	table := fedpower.JetsonNanoTable()
+	p := fedpower.DefaultControllerParams(table.Len())
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"Learning Rate (alpha)", p.LearningRate, 0.005},
+		{"Max. Temp. (tau_max)", p.TauMax, 0.9},
+		{"Temp. Decay (tau_decay)", p.TauDecay, 0.0005},
+		{"Min. Temp. (tau_min)", p.TauMin, 0.01},
+		{"Replay Capacity (C)", float64(p.ReplayCapacity), 4000},
+		{"Batch Size (C_B)", float64(p.BatchSize), 128},
+		{"Optim. Intv. (H)", float64(p.OptimInterval), 20},
+		{"#Hidden Layers", float64(p.HiddenLayers), 1},
+		{"#Neurons/Layer", float64(p.HiddenNeurons), 32},
+		{"Pow. Constr. (P_crit)", p.Reward.PCritW, 0.6},
+		{"Pow. Offs. (k_offset)", p.Reward.KOffsetW, 0.05},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("Table I %s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	o := fedpower.DefaultOptions()
+	if o.Rounds != 100 {
+		t.Errorf("Table I #Rounds (R) = %d, want 100", o.Rounds)
+	}
+	if o.StepsPerRound != 100 {
+		t.Errorf("Table I #Steps/Round (T) = %d, want 100", o.StepsPerRound)
+	}
+	if o.IntervalS != 0.5 {
+		t.Errorf("Table I Ctrl. Intv. = %v s, want 0.5", o.IntervalS)
+	}
+}
+
+// TestTransferSizeMatchesPaper pins the §IV-C communication cost: 687
+// parameters × 4 B = 2748 B of model data (~2.8 kB) plus 9 framing bytes.
+func TestTransferSizeMatchesPaper(t *testing.T) {
+	table := fedpower.JetsonNanoTable()
+	ctrl := fedpower.NewController(fedpower.DefaultControllerParams(table.Len()), rand.New(rand.NewSource(1)))
+	if ctrl.NumParams() != 687 {
+		t.Fatalf("policy network has %d params, want 687", ctrl.NumParams())
+	}
+	if got := fedpower.TransferSize(ctrl.NumParams()); got != 2757 {
+		t.Fatalf("TransferSize = %d B, want 2757 (2748 payload + 9 header)", got)
+	}
+}
+
+func TestPublicAPIControlLoop(t *testing.T) {
+	// The full device control loop, exercised purely through the public
+	// facade: the code a downstream user would write.
+	table := fedpower.JetsonNanoTable()
+	params := fedpower.DefaultControllerParams(table.Len())
+	dev := fedpower.NewDevice(table, fedpower.DefaultPowerModel(), rand.New(rand.NewSource(1)))
+	ctrl := fedpower.NewController(params, rand.New(rand.NewSource(2)))
+	stream := fedpower.NewStream(rand.New(rand.NewSource(3)), fedpower.SPLASH2())
+
+	dev.Load(stream.Next())
+	dev.SetLevel(table.Len() / 2)
+	obs := dev.Step(0.5)
+	var state []float64
+	for i := 0; i < 50; i++ {
+		if dev.Done() {
+			dev.Load(stream.Next())
+		}
+		state = fedpower.StateVector(obs, state)
+		a := ctrl.SelectAction(state)
+		dev.SetLevel(a)
+		obs = dev.Step(0.5)
+		r := params.Reward.Reward(obs.NormFreq, obs.PowerW)
+		if r < -1 || r > 1 {
+			t.Fatalf("reward %v outside [-1, 1]", r)
+		}
+		ctrl.Observe(state, a, r)
+	}
+	if ctrl.Step() != 50 {
+		t.Fatalf("controller recorded %d steps, want 50", ctrl.Step())
+	}
+	if st := dev.Stats(); st.TimeS <= 0 || st.AvgPowerW() <= 0 {
+		t.Fatalf("device stats degenerate: %+v", st)
+	}
+}
+
+func TestPublicAPIFederatedRun(t *testing.T) {
+	// Two in-process clients through the facade; averaging semantics as in
+	// Algorithm 2.
+	clients := []fedpower.FederatedClient{
+		fedpower.FederatedClientFunc(func(round int, global []float64) ([]float64, error) {
+			out := make([]float64, len(global))
+			for i, g := range global {
+				out[i] = g + 1
+			}
+			return out, nil
+		}),
+		fedpower.FederatedClientFunc(func(round int, global []float64) ([]float64, error) {
+			out := make([]float64, len(global))
+			for i, g := range global {
+				out[i] = g + 3
+			}
+			return out, nil
+		}),
+	}
+	global := []float64{0}
+	rounds := 0
+	err := fedpower.FederatedRun(global, clients, 4, func(r int, g []float64) { rounds++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 4 {
+		t.Fatalf("hook ran %d times, want 4", rounds)
+	}
+	if global[0] != 8 { // +2 per round
+		t.Fatalf("global = %v, want 8", global[0])
+	}
+}
+
+func TestPublicAPIBaseline(t *testing.T) {
+	table := fedpower.JetsonNanoTable()
+	p := fedpower.DefaultProfitParams(table.Len())
+	agent := fedpower.NewCollab(fedpower.NewProfit(p, rand.New(rand.NewSource(1))))
+	dev := fedpower.NewDevice(table, fedpower.DefaultPowerModel(), rand.New(rand.NewSource(2)))
+	spec, err := fedpower.AppByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Load(fedpower.NewApp(spec))
+	dev.SetLevel(7)
+	obs := dev.Step(0.5)
+	for i := 0; i < 30; i++ {
+		key := agent.Local.P.Disc.Key(obs)
+		a := agent.SelectAction(key)
+		dev.SetLevel(a)
+		obs = dev.Step(0.5)
+		agent.Observe(key, a, agent.Local.Reward(obs))
+	}
+	if agent.Local.States() == 0 {
+		t.Fatal("baseline visited no states")
+	}
+	g := fedpower.CollabAggregate([]fedpower.CollabSummary{agent.Summary()})
+	if len(g) == 0 {
+		t.Fatal("aggregation produced an empty global policy")
+	}
+	agent.SetGlobal(g)
+	if agent.GlobalSize() != len(g) {
+		t.Fatal("global policy not installed")
+	}
+}
+
+func TestPublicAPIFig2(t *testing.T) {
+	table := fedpower.JetsonNanoTable()
+	rp := fedpower.RewardParams{PCritW: 0.6, KOffsetW: 0.05}
+	res := fedpower.RunFig2(table, rp, 9)
+	if len(res.FreqMHz) != 15 || len(res.PowerW) != 9 {
+		t.Fatalf("Fig. 2 grid %dx%d, want 15x9", len(res.FreqMHz), len(res.PowerW))
+	}
+	res2 := fedpower.RunFig2Powers(table, rp, []float64{0.5})
+	if res2.Reward[14][0] != 1 {
+		t.Fatalf("f_max under budget reward = %v, want 1", res2.Reward[14][0])
+	}
+}
+
+func TestPublicAPIScenarios(t *testing.T) {
+	if got := len(fedpower.TableII()); got != 3 {
+		t.Fatalf("TableII has %d scenarios, want 3", got)
+	}
+	sc := fedpower.SplitHalfScenario()
+	n := 0
+	for _, apps := range sc.Devices {
+		n += len(apps)
+	}
+	if n != 12 {
+		t.Fatalf("split-half covers %d apps, want 12", n)
+	}
+}
+
+func TestPublicAPIOverhead(t *testing.T) {
+	res := fedpower.RunOverhead(fedpower.DefaultOptions(), 200)
+	if res.ModelParams != 687 || res.TransferBytes != 2757 || res.ReplayBytes != 112000 {
+		t.Fatalf("overhead accounting: %+v", res)
+	}
+}
+
+func TestPublicAPITCPFederation(t *testing.T) {
+	srv, err := fedpower.NewServer("127.0.0.1:0", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := fedpower.Dial(srv.Addr())
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		_, err = conn.Participate(fedpower.FederatedClientFunc(func(round int, global []float64) ([]float64, error) {
+			global[0]++
+			return global, nil
+		}))
+		done <- err
+	}()
+	final, err := srv.Serve([]float64{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if final[0] != 2 {
+		t.Fatalf("final model %v, want 2", final[0])
+	}
+}
+
+// TestQuickFederatedTrainingEndToEnd is the facade-level acceptance test: a
+// tiny but complete federated training run through RunScenario, checking the
+// learning signal is real (final rewards beat the untrained start).
+func TestQuickFederatedTrainingEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run skipped in -short mode")
+	}
+	o := fedpower.DefaultOptions()
+	o.Rounds = 20
+	o.StepsPerRound = 60
+	o.EvalSteps = 15
+	res, err := fedpower.RunScenario(o, 0, fedpower.TableII()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstHalf, secondHalf := 0.0, 0.0
+	for i, e := range res.Fed {
+		if i < len(res.Fed)/2 {
+			firstHalf += e.Reward
+		} else {
+			secondHalf += e.Reward
+		}
+	}
+	n := float64(len(res.Fed) / 2)
+	if math.IsNaN(secondHalf/n) || secondHalf/n <= 0 {
+		t.Fatalf("federated policy not learning: late rewards %v", secondHalf/n)
+	}
+}

@@ -1,0 +1,3 @@
+module fedpower
+
+go 1.22

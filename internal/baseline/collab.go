@@ -1,0 +1,171 @@
+package baseline
+
+import "sort"
+
+// CollabPolicy extends Profit with the privacy-preserving multi-device
+// knowledge sharing of §IV-B (after Tian et al.): each device keeps its
+// local value table and, in addition, a copy of a global policy represented
+// per state by the tuple (π*(s), r̄(s), n(s)) — best action, average reward,
+// visit count. Only these policy tuples travel to the server, never raw
+// traces, mirroring the privacy property of the paper's technique.
+//
+// Action selection consults the local table when the local average reward
+// for the current state beats the global average (the device knows this
+// state better than the collective), and the global best action otherwise.
+
+// GlobalEntry is the global policy's knowledge about one state.
+type GlobalEntry struct {
+	Best      int     // π*(s): best action
+	AvgReward float64 // r̄(s): visit-weighted average reward
+	Visits    int     // n(s): total visit count
+}
+
+// LocalSummary is what one device uploads after a round of local
+// optimisation: its per-state best action, average reward and visit count.
+type LocalSummary map[StateKey]GlobalEntry
+
+// Collab wraps a Profit agent with the global-policy machinery.
+type Collab struct {
+	Local  *Profit
+	global map[StateKey]GlobalEntry
+}
+
+// NewCollab wraps local with an empty global policy.
+func NewCollab(local *Profit) *Collab {
+	return &Collab{Local: local, global: make(map[StateKey]GlobalEntry)}
+}
+
+// SetGlobal installs the global policy distributed by the server at the
+// start of a round. The map is copied.
+func (c *Collab) SetGlobal(g map[StateKey]GlobalEntry) {
+	c.global = make(map[StateKey]GlobalEntry, len(g))
+	for k, v := range g {
+		c.global[k] = v
+	}
+}
+
+// GlobalSize returns the number of states in the device's copy of the
+// global policy.
+func (c *Collab) GlobalSize() int { return len(c.global) }
+
+// useGlobal decides, for state s, whether the global policy should be
+// consulted: yes when a global entry exists and its average reward exceeds
+// the local one ("when the average reward for the current state is higher
+// under the local policy, it will consult the local policy, otherwise, the
+// global policy").
+func (c *Collab) useGlobal(s StateKey) (GlobalEntry, bool) {
+	g, ok := c.global[s]
+	if !ok {
+		return GlobalEntry{}, false
+	}
+	localAvg, n := c.Local.StateStats(s)
+	if n == 0 {
+		return g, true
+	}
+	if localAvg >= g.AvgReward {
+		return GlobalEntry{}, false
+	}
+	return g, true
+}
+
+// SelectAction picks the training-time action: ε-greedy exploration on top
+// of the local-vs-global policy choice.
+func (c *Collab) SelectAction(s StateKey) int {
+	if c.Local.rng.Float64() < c.Local.Epsilon() {
+		return c.Local.rng.Intn(c.Local.P.Actions)
+	}
+	return c.GreedyAction(s)
+}
+
+// GreedyAction returns the exploitation choice used during evaluation.
+func (c *Collab) GreedyAction(s StateKey) int {
+	if g, ok := c.useGlobal(s); ok {
+		return g.Best
+	}
+	return c.Local.GreedyAction(s)
+}
+
+// Observe feeds the interaction into the local table only; the global
+// policy is read-only on the device and refreshed by the server.
+func (c *Collab) Observe(s StateKey, action int, reward float64) {
+	c.Local.Observe(s, action, reward)
+}
+
+// Summary builds the device's upload for the aggregation server.
+func (c *Collab) Summary() LocalSummary {
+	out := make(LocalSummary, c.Local.States())
+	for _, s := range c.Local.VisitedStates() {
+		avg, n := c.Local.StateStats(s)
+		if n == 0 {
+			continue
+		}
+		out[s] = GlobalEntry{
+			Best:      c.Local.GreedyAction(s),
+			AvgReward: avg,
+			Visits:    n,
+		}
+	}
+	return out
+}
+
+// Aggregate merges the devices' local summaries into the next global
+// policy: per state, the average reward is the visit-weighted mean across
+// devices, the visit count is the sum, and the best action is taken from
+// the device reporting the highest average reward for that state (the most
+// successful experience wins).
+func Aggregate(summaries []LocalSummary) map[StateKey]GlobalEntry {
+	type acc struct {
+		weighted float64 // Σ r̄_i·n_i
+		visits   int     // Σ n_i
+		best     int     // π* of the strongest contributor
+		bestAvg  float64 // that contributor's own r̄
+		seeded   bool
+	}
+	accs := make(map[StateKey]*acc)
+	for _, sum := range summaries {
+		for s, e := range sum {
+			a, ok := accs[s]
+			if !ok {
+				a = &acc{}
+				accs[s] = a
+			}
+			a.weighted += e.AvgReward * float64(e.Visits)
+			a.visits += e.Visits
+			if !a.seeded || e.AvgReward > a.bestAvg {
+				a.best, a.bestAvg, a.seeded = e.Best, e.AvgReward, true
+			}
+		}
+	}
+	global := make(map[StateKey]GlobalEntry, len(accs))
+	for s, a := range accs {
+		avg := 0.0
+		if a.visits > 0 {
+			avg = a.weighted / float64(a.visits)
+		}
+		global[s] = GlobalEntry{Best: a.best, AvgReward: avg, Visits: a.visits}
+	}
+	return global
+}
+
+// SortedStates returns the global policy's states in a deterministic order,
+// for tests and reporting.
+func SortedStates(g map[StateKey]GlobalEntry) []StateKey {
+	keys := make([]StateKey, 0, len(g))
+	for k := range g {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.F != b.F {
+			return a.F < b.F
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		if a.IPC != b.IPC {
+			return a.IPC < b.IPC
+		}
+		return a.MPKI < b.MPKI
+	})
+	return keys
+}

@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newTestCollab(t *testing.T, seed int64) *Collab {
+	t.Helper()
+	return NewCollab(NewProfit(DefaultProfitParams(15), rand.New(rand.NewSource(seed))))
+}
+
+func TestSummaryReflectsLocalTable(t *testing.T) {
+	c := newTestCollab(t, 1)
+	s := StateKey{F: 2}
+	c.Observe(s, 3, 1.0)
+	c.Observe(s, 3, 1.0)
+	sum := c.Summary()
+	e, ok := sum[s]
+	if !ok {
+		t.Fatal("visited state missing from summary")
+	}
+	if e.Best != 3 {
+		t.Errorf("summary best = %d, want 3", e.Best)
+	}
+	if e.Visits != 2 {
+		t.Errorf("summary visits = %d, want 2", e.Visits)
+	}
+	if math.Abs(e.AvgReward-0.19) > 1e-12 { // 0.1, then 0.19 running value
+		t.Errorf("summary avg = %v, want 0.19", e.AvgReward)
+	}
+}
+
+func TestAggregateWeightedMean(t *testing.T) {
+	s := StateKey{F: 1}
+	sums := []LocalSummary{
+		{s: {Best: 2, AvgReward: 1.0, Visits: 1}},
+		{s: {Best: 8, AvgReward: 0.0, Visits: 3}},
+	}
+	g := Aggregate(sums)
+	e := g[s]
+	// Visit-weighted mean: (1·1 + 0·3)/4 = 0.25.
+	if math.Abs(e.AvgReward-0.25) > 1e-12 {
+		t.Errorf("aggregated avg = %v, want 0.25", e.AvgReward)
+	}
+	if e.Visits != 4 {
+		t.Errorf("aggregated visits = %d, want 4", e.Visits)
+	}
+	// Best action from the contributor with the higher own average (the
+	// first one), not the more-visited one.
+	if e.Best != 2 {
+		t.Errorf("aggregated best = %d, want 2 (strongest contributor)", e.Best)
+	}
+}
+
+func TestAggregateDisjointStates(t *testing.T) {
+	s1, s2 := StateKey{F: 1}, StateKey{F: 2}
+	g := Aggregate([]LocalSummary{
+		{s1: {Best: 1, AvgReward: 0.5, Visits: 2}},
+		{s2: {Best: 9, AvgReward: 0.7, Visits: 5}},
+	})
+	if len(g) != 2 {
+		t.Fatalf("aggregated %d states, want 2", len(g))
+	}
+	if g[s1].Best != 1 || g[s2].Best != 9 {
+		t.Fatal("disjoint states not preserved")
+	}
+}
+
+func TestAggregateOrderIndependent(t *testing.T) {
+	s := StateKey{F: 3}
+	a := LocalSummary{s: {Best: 1, AvgReward: 0.9, Visits: 2}}
+	b := LocalSummary{s: {Best: 7, AvgReward: 0.3, Visits: 6}}
+	g1 := Aggregate([]LocalSummary{a, b})[s]
+	g2 := Aggregate([]LocalSummary{b, a})[s]
+	if g1.Best != g2.Best || math.Abs(g1.AvgReward-g2.AvgReward) > 1e-12 || g1.Visits != g2.Visits {
+		t.Fatalf("aggregation order-dependent: %+v vs %+v", g1, g2)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if g := Aggregate(nil); len(g) != 0 {
+		t.Fatal("empty aggregate not empty")
+	}
+}
+
+func TestSetGlobalCopies(t *testing.T) {
+	c := newTestCollab(t, 1)
+	s := StateKey{F: 4}
+	g := map[StateKey]GlobalEntry{s: {Best: 5, AvgReward: 0.8, Visits: 3}}
+	c.SetGlobal(g)
+	g[s] = GlobalEntry{Best: 0, AvgReward: -1, Visits: 1}
+	if c.GlobalSize() != 1 {
+		t.Fatal("global size mismatch")
+	}
+	if got := c.GreedyAction(s); got != 5 {
+		t.Fatalf("mutation of the caller's map leaked into the device copy: greedy %d", got)
+	}
+}
+
+func TestGreedyPrefersGlobalWhenLocalWeaker(t *testing.T) {
+	c := newTestCollab(t, 1)
+	s := StateKey{F: 6}
+	// Local knows this state poorly: avg reward 0.01.
+	c.Observe(s, 2, 0.1) // Q[2] = 0.01... (0.1·0.1)
+	c.SetGlobal(map[StateKey]GlobalEntry{s: {Best: 11, AvgReward: 0.9, Visits: 50}})
+	if got := c.GreedyAction(s); got != 11 {
+		t.Fatalf("greedy = %d, want global best 11", got)
+	}
+}
+
+func TestGreedyPrefersLocalWhenStronger(t *testing.T) {
+	c := newTestCollab(t, 1)
+	s := StateKey{F: 6}
+	for i := 0; i < 50; i++ {
+		c.Observe(s, 4, 1.0) // local value approaches 1
+	}
+	c.SetGlobal(map[StateKey]GlobalEntry{s: {Best: 11, AvgReward: 0.2, Visits: 50}})
+	if got := c.GreedyAction(s); got != 4 {
+		t.Fatalf("greedy = %d, want local best 4", got)
+	}
+}
+
+func TestGreedyGlobalOnUnvisitedLocalState(t *testing.T) {
+	c := newTestCollab(t, 1)
+	s := StateKey{F: 9}
+	c.SetGlobal(map[StateKey]GlobalEntry{s: {Best: 13, AvgReward: 0.5, Visits: 10}})
+	if got := c.GreedyAction(s); got != 13 {
+		t.Fatalf("greedy on locally unknown state = %d, want global 13", got)
+	}
+}
+
+func TestGreedyFallsBackToLocalWithoutGlobal(t *testing.T) {
+	c := newTestCollab(t, 1)
+	s := StateKey{F: 9}
+	c.Observe(s, 6, 1.0)
+	if got := c.GreedyAction(s); got != 6 {
+		t.Fatalf("greedy without global entry = %d, want local 6", got)
+	}
+}
+
+func TestSelectActionExploresAtHighEpsilon(t *testing.T) {
+	c := newTestCollab(t, 5)
+	s := StateKey{}
+	c.SetGlobal(map[StateKey]GlobalEntry{s: {Best: 7, AvgReward: 1, Visits: 1}})
+	seen := map[int]bool{}
+	for i := 0; i < 300; i++ {
+		seen[c.SelectAction(s)] = true // epsilon starts at 1: uniform
+	}
+	if len(seen) < 10 {
+		t.Fatalf("exploration touched only %d/15 actions at epsilon 1", len(seen))
+	}
+}
+
+func TestKnowledgeTransferEndToEnd(t *testing.T) {
+	// Device A learns state sA well, device B learns sB well; after one
+	// aggregation both devices act correctly on BOTH states — the core
+	// CollabPolicy promise.
+	devA := newTestCollab(t, 10)
+	devB := newTestCollab(t, 11)
+	sA, sB := StateKey{F: 2}, StateKey{F: 12}
+	for i := 0; i < 100; i++ {
+		devA.Observe(sA, 3, 1.0)
+		devB.Observe(sB, 10, 1.0)
+	}
+	global := Aggregate([]LocalSummary{devA.Summary(), devB.Summary()})
+	devA.SetGlobal(global)
+	devB.SetGlobal(global)
+
+	if got := devA.GreedyAction(sB); got != 10 {
+		t.Errorf("device A on B's state: %d, want 10", got)
+	}
+	if got := devB.GreedyAction(sA); got != 3 {
+		t.Errorf("device B on A's state: %d, want 3", got)
+	}
+	// Own expertise is retained.
+	if got := devA.GreedyAction(sA); got != 3 {
+		t.Errorf("device A lost its own knowledge: %d", got)
+	}
+}
+
+func TestSortedStatesDeterministic(t *testing.T) {
+	g := map[StateKey]GlobalEntry{
+		{F: 2, P: 1}:         {},
+		{F: 1, P: 9}:         {},
+		{F: 1, P: 1, IPC: 3}: {},
+		{F: 1, P: 1, IPC: 1}: {},
+	}
+	a := SortedStates(g)
+	b := SortedStates(g)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SortedStates not deterministic")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		prev, cur := a[i-1], a[i]
+		if prev.F > cur.F {
+			t.Fatal("not sorted by F")
+		}
+	}
+}

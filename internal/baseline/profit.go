@@ -1,0 +1,198 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedpower/internal/sim"
+)
+
+// ProfitParams configures the tabular Profit agent as described in §IV-B.
+type ProfitParams struct {
+	// LearningRate is the table update step size (paper: 0.1, "a typical
+	// value for table-based approaches").
+	LearningRate float64
+	// EpsilonMax/EpsilonDecay/EpsilonMin drive the ε-greedy exploration
+	// schedule, exponentially decayed per step with a 0.01 floor (paper:
+	// "exploration follows an ε-greedy strategy with exponential decay and
+	// we set the minimum value to 0.01").
+	EpsilonMax   float64
+	EpsilonDecay float64
+	EpsilonMin   float64
+	// PCritW is the power constraint shared with our technique.
+	PCritW float64
+	// IPSNorm scales instructions-per-second into a unit reward so the
+	// positive branch of the reward is comparable in magnitude to the
+	// penalty branch.
+	IPSNorm float64
+	// Actions is the number of V/f levels.
+	Actions int
+	// Disc bins the continuous observations.
+	Disc Discretizer
+}
+
+// DefaultProfitParams returns the baseline configuration used in the
+// reproduction for a processor with the given number of V/f levels.
+func DefaultProfitParams(actions int) ProfitParams {
+	return ProfitParams{
+		LearningRate: 0.1,
+		EpsilonMax:   1.0,
+		EpsilonDecay: 0.0005,
+		EpsilonMin:   0.01,
+		PCritW:       0.6,
+		IPSNorm:      2.0e9,
+		Actions:      actions,
+		Disc:         DefaultDiscretizer(),
+	}
+}
+
+// Validate reports the first inconsistency in the parameters.
+func (p ProfitParams) Validate() error {
+	switch {
+	case p.LearningRate <= 0 || p.LearningRate > 1:
+		return fmt.Errorf("baseline: learning rate %v out of (0,1]", p.LearningRate)
+	case p.EpsilonMax <= 0 || p.EpsilonMin <= 0 || p.EpsilonMin > p.EpsilonMax:
+		return fmt.Errorf("baseline: epsilon range [%v, %v] invalid", p.EpsilonMin, p.EpsilonMax)
+	case p.EpsilonDecay < 0:
+		return fmt.Errorf("baseline: epsilon decay %v negative", p.EpsilonDecay)
+	case p.PCritW <= 0:
+		return fmt.Errorf("baseline: power constraint %v must be positive", p.PCritW)
+	case p.IPSNorm <= 0:
+		return fmt.Errorf("baseline: IPS normaliser %v must be positive", p.IPSNorm)
+	case p.Actions <= 1:
+		return fmt.Errorf("baseline: action count %d must exceed 1", p.Actions)
+	}
+	return nil
+}
+
+// cell is one table entry: the running value estimate and visit count for a
+// (state, action) pair.
+type cell struct {
+	q float64
+	n int
+}
+
+// Profit is the table-based RL power controller: a value table over
+// discretised states, ε-greedy exploration, and the Profit reward — IPS when
+// the power constraint holds, a -5·|P_crit − P| penalty otherwise.
+type Profit struct {
+	P     ProfitParams
+	table map[StateKey][]cell
+	step  int
+	rng   *rand.Rand
+}
+
+// NewProfit builds an agent with an empty value table. It panics on invalid
+// parameters.
+func NewProfit(p ProfitParams, rng *rand.Rand) *Profit {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Profit{P: p, table: make(map[StateKey][]cell), rng: rng}
+}
+
+// Reward computes the Profit reward for an observation: normalised IPS if
+// the power constraint holds, otherwise -5·|P_crit − P|.
+func (a *Profit) Reward(obs sim.Observation) float64 {
+	if obs.PowerW <= a.P.PCritW {
+		ips := obs.IPC * obs.FreqMHz * 1e6
+		return ips / a.P.IPSNorm
+	}
+	return -5 * math.Abs(a.P.PCritW-obs.PowerW)
+}
+
+// Epsilon returns the current exploration rate
+// max(ε_min, ε_max·exp(-decay·t)).
+func (a *Profit) Epsilon() float64 {
+	eps := a.P.EpsilonMax * math.Exp(-a.P.EpsilonDecay*float64(a.step))
+	if eps < a.P.EpsilonMin {
+		eps = a.P.EpsilonMin
+	}
+	return eps
+}
+
+// Step returns the number of observations recorded.
+func (a *Profit) Step() int { return a.step }
+
+// States returns the number of distinct states visited so far.
+func (a *Profit) States() int { return len(a.table) }
+
+func (a *Profit) row(s StateKey) []cell {
+	row, ok := a.table[s]
+	if !ok {
+		row = make([]cell, a.P.Actions)
+		a.table[s] = row
+	}
+	return row
+}
+
+// SelectAction picks the next V/f level ε-greedily for state s.
+func (a *Profit) SelectAction(s StateKey) int {
+	if a.rng.Float64() < a.Epsilon() {
+		return a.rng.Intn(a.P.Actions)
+	}
+	return a.GreedyAction(s)
+}
+
+// GreedyAction returns the table argmax for s. Unvisited actions have value
+// 0, which sits between the positive performance rewards and the negative
+// violation penalties — so an unvisited action is preferred over a known-bad
+// one but not over a known-good one.
+func (a *Profit) GreedyAction(s StateKey) int {
+	row, ok := a.table[s]
+	if !ok {
+		// Never-seen state: the table carries no information, so hold the
+		// current frequency (encoded in the state) rather than jump — the
+		// non-generalising behaviour that distinguishes tabular RL from the
+		// neural policy.
+		return int(s.F)
+	}
+	best := 0
+	for i := 1; i < len(row); i++ {
+		if row[i].q > row[best].q {
+			best = i
+		}
+	}
+	return best
+}
+
+// Observe folds the reward for (s, action) into the table with the running
+// update Q ← Q + α·(r − Q) and advances the exploration schedule.
+func (a *Profit) Observe(s StateKey, action int, reward float64) {
+	if action < 0 || action >= a.P.Actions {
+		panic(fmt.Sprintf("baseline: action %d out of range [0,%d)", action, a.P.Actions))
+	}
+	row := a.row(s)
+	row[action].q += a.P.LearningRate * (reward - row[action].q)
+	row[action].n++
+	a.step++
+}
+
+// StateStats returns the visit-weighted mean value and total visit count of
+// state s — the (r̄(s), n(s)) pair CollabPolicy shares with the server.
+func (a *Profit) StateStats(s StateKey) (avg float64, n int) {
+	row, ok := a.table[s]
+	if !ok {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, c := range row {
+		sum += c.q * float64(c.n)
+		n += c.n
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// VisitedStates returns the keys of all states with at least one
+// observation, in map order (callers needing determinism must sort).
+func (a *Profit) VisitedStates() []StateKey {
+	keys := make([]StateKey, 0, len(a.table))
+	for k := range a.table {
+		keys = append(keys, k)
+	}
+	return keys
+}

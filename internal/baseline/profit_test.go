@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedpower/internal/sim"
+)
+
+func newTestProfit(t *testing.T) *Profit {
+	t.Helper()
+	return NewProfit(DefaultProfitParams(15), rand.New(rand.NewSource(1)))
+}
+
+func TestDefaultProfitParamsMatchPaper(t *testing.T) {
+	p := DefaultProfitParams(15)
+	if p.LearningRate != 0.1 {
+		t.Errorf("learning rate %v, want 0.1 (§IV-B)", p.LearningRate)
+	}
+	if p.EpsilonMin != 0.01 {
+		t.Errorf("epsilon min %v, want 0.01 (§IV-B)", p.EpsilonMin)
+	}
+	if p.PCritW != 0.6 {
+		t.Errorf("P_crit %v, want 0.6", p.PCritW)
+	}
+}
+
+func TestProfitParamsValidate(t *testing.T) {
+	if err := DefaultProfitParams(15).Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	mutations := []func(*ProfitParams){
+		func(p *ProfitParams) { p.LearningRate = 0 },
+		func(p *ProfitParams) { p.LearningRate = 1.5 },
+		func(p *ProfitParams) { p.EpsilonMax = 0 },
+		func(p *ProfitParams) { p.EpsilonMin = 0 },
+		func(p *ProfitParams) { p.EpsilonMin = 2 },
+		func(p *ProfitParams) { p.EpsilonDecay = -1 },
+		func(p *ProfitParams) { p.PCritW = 0 },
+		func(p *ProfitParams) { p.IPSNorm = 0 },
+		func(p *ProfitParams) { p.Actions = 1 },
+	}
+	for i, mutate := range mutations {
+		p := DefaultProfitParams(15)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestProfitRewardBranches(t *testing.T) {
+	a := newTestProfit(t)
+	// Under the constraint: normalised IPS.
+	obs := sim.Observation{PowerW: 0.5, IPC: 1.0, FreqMHz: 1000}
+	want := 1.0 * 1000 * 1e6 / a.P.IPSNorm
+	if got := a.Reward(obs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("reward under constraint = %v, want %v", got, want)
+	}
+	// Violation: -5·|P_crit - P| (§IV-B).
+	obs = sim.Observation{PowerW: 0.8, IPC: 1.0, FreqMHz: 1000}
+	if got := a.Reward(obs); math.Abs(got-(-5*0.2)) > 1e-12 {
+		t.Errorf("violation reward = %v, want -1", got)
+	}
+}
+
+func TestProfitEpsilonSchedule(t *testing.T) {
+	a := newTestProfit(t)
+	if a.Epsilon() != 1.0 {
+		t.Fatalf("initial epsilon %v, want 1", a.Epsilon())
+	}
+	s := StateKey{}
+	for i := 0; i < 1000; i++ {
+		a.Observe(s, 0, 0.5)
+	}
+	want := math.Exp(-0.0005 * 1000)
+	if math.Abs(a.Epsilon()-want) > 1e-9 {
+		t.Fatalf("epsilon after 1000 steps = %v, want %v", a.Epsilon(), want)
+	}
+	for i := 0; i < 20000; i++ {
+		a.Observe(s, 0, 0.5)
+	}
+	if a.Epsilon() != 0.01 {
+		t.Fatalf("epsilon floor = %v, want 0.01", a.Epsilon())
+	}
+}
+
+func TestProfitObserveUpdatesTable(t *testing.T) {
+	a := newTestProfit(t)
+	s := StateKey{F: 3}
+	a.Observe(s, 5, 1.0)
+	// Q = 0 + 0.1·(1 - 0) = 0.1
+	if got := a.GreedyAction(s); got != 5 {
+		t.Fatalf("greedy after one positive observation = %d, want 5", got)
+	}
+	a.Observe(s, 5, 1.0)
+	// Q = 0.1 + 0.1·(1 - 0.1) = 0.19
+	avg, n := a.StateStats(s)
+	if n != 2 {
+		t.Fatalf("visits = %d, want 2", n)
+	}
+	if math.Abs(avg-0.19) > 1e-12 {
+		t.Fatalf("state value = %v, want 0.19", avg)
+	}
+}
+
+func TestProfitGreedyUnseenStateHoldsFrequency(t *testing.T) {
+	// On a never-visited state the table is empty; the agent holds the
+	// current V/f level (part of the state) instead of jumping blindly.
+	a := newTestProfit(t)
+	if got := a.GreedyAction(StateKey{F: 9, P: 7}); got != 9 {
+		t.Fatalf("unseen-state greedy = %d, want current level 9", got)
+	}
+	if got := a.GreedyAction(StateKey{F: 2}); got != 2 {
+		t.Fatalf("unseen-state greedy = %d, want current level 2", got)
+	}
+}
+
+func TestProfitGreedyPrefersUnexploredOverBad(t *testing.T) {
+	a := newTestProfit(t)
+	s := StateKey{}
+	a.Observe(s, 0, -2) // known-bad action
+	got := a.GreedyAction(s)
+	if got == 0 {
+		t.Fatal("greedy picked the known-bad action over unexplored ones")
+	}
+}
+
+func TestProfitObserveBadActionPanics(t *testing.T) {
+	a := newTestProfit(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe with out-of-range action did not panic")
+		}
+	}()
+	a.Observe(StateKey{}, 15, 0)
+}
+
+func TestProfitLearnsBestActionPerState(t *testing.T) {
+	a := newTestProfit(t)
+	rng := rand.New(rand.NewSource(2))
+	s1, s2 := StateKey{F: 1}, StateKey{F: 9}
+	for i := 0; i < 5000; i++ {
+		s, best := s1, 4
+		if i%2 == 1 {
+			s, best = s2, 12
+		}
+		act := a.SelectAction(s)
+		r := 1 - 0.2*math.Abs(float64(act-best)) + rng.NormFloat64()*0.05
+		a.Observe(s, act, r)
+	}
+	if got := a.GreedyAction(s1); got < 3 || got > 5 {
+		t.Errorf("state 1 greedy %d, want near 4", got)
+	}
+	if got := a.GreedyAction(s2); got < 11 || got > 13 {
+		t.Errorf("state 2 greedy %d, want near 12", got)
+	}
+	if a.States() != 2 {
+		t.Errorf("visited states = %d, want 2", a.States())
+	}
+}
+
+func TestProfitStateStatsUnseen(t *testing.T) {
+	a := newTestProfit(t)
+	avg, n := a.StateStats(StateKey{F: 5})
+	if avg != 0 || n != 0 {
+		t.Fatalf("unseen state stats (%v, %d), want (0, 0)", avg, n)
+	}
+}
+
+func TestProfitVisitedStates(t *testing.T) {
+	a := newTestProfit(t)
+	a.Observe(StateKey{F: 1}, 0, 0.5)
+	a.Observe(StateKey{F: 2}, 0, 0.5)
+	a.Observe(StateKey{F: 1}, 1, 0.5)
+	keys := a.VisitedStates()
+	if len(keys) != 2 {
+		t.Fatalf("VisitedStates returned %d keys, want 2", len(keys))
+	}
+}

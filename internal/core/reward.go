@@ -1,0 +1,76 @@
+// Package core implements the paper's primary contribution on the device
+// side: the neural-network-based DVFS power controller of §III-A. The
+// controller is a contextual-bandit RL agent (Algorithm 1) that alternates
+// between observing the processor state, sampling a V/f level from a
+// softmax policy over predicted rewards (Eq. 3), and fitting its policy
+// network to observed rewards with the Huber loss over replay mini-batches
+// (Eq. 2). The reward signal (Eq. 4) trades application performance against
+// a soft power constraint.
+package core
+
+import "fmt"
+
+// RewardParams configures the reward signal of Eq. (4).
+type RewardParams struct {
+	// PCritW is the power constraint P_crit in watts (paper: 0.6 W).
+	PCritW float64
+	// KOffsetW is the softness band k_offset in watts (paper: 0.05 W): the
+	// reward degrades linearly between P_crit and P_crit + k_offset, turns
+	// negative beyond that, and saturates at -1 at P_crit + 2·k_offset.
+	KOffsetW float64
+	// Hard switches to the hard-cut constraint the paper argues against in
+	// §III-A (flat -1 penalty on any violation). Off by default; used by the
+	// soft-vs-hard ablation.
+	Hard bool
+}
+
+// Validate reports an error for non-positive parameters.
+func (p RewardParams) Validate() error {
+	if p.PCritW <= 0 {
+		return fmt.Errorf("core: power constraint %.3f W must be positive", p.PCritW)
+	}
+	if p.KOffsetW <= 0 {
+		return fmt.Errorf("core: power offset %.3f W must be positive", p.KOffsetW)
+	}
+	return nil
+}
+
+// Reward implements Eq. (4): the reward for having run at normalised
+// frequency normFreq = f_{t+1}/f_max while drawing powerW = P_{t+1} watts.
+//
+//	r = f/f_max                                  if P <= P_crit
+//	r = f/f_max · (P_crit + k - P)/k             if P <= P_crit + k
+//	r = (P_crit + k - P)/k                       if P <= P_crit + 2k
+//	r = -1                                       otherwise
+//
+// The function is continuous: at P = P_crit the first two branches agree, at
+// P = P_crit + k the middle branches are both 0, and at P = P_crit + 2k the
+// third branch reaches -1. Rewards therefore lie in [-1, 1].
+//
+// With Hard set, the hard-cut variant (HardReward) is used instead.
+func (p RewardParams) Reward(normFreq, powerW float64) float64 {
+	if p.Hard {
+		return p.HardReward(normFreq, powerW)
+	}
+	switch {
+	case powerW <= p.PCritW:
+		return normFreq
+	case powerW <= p.PCritW+p.KOffsetW:
+		return normFreq * (p.PCritW + p.KOffsetW - powerW) / p.KOffsetW
+	case powerW <= p.PCritW+2*p.KOffsetW:
+		return (p.PCritW + p.KOffsetW - powerW) / p.KOffsetW
+	default:
+		return -1
+	}
+}
+
+// HardReward is the hard-cut alternative the paper argues against in
+// §III-A: full performance reward below the constraint and a flat -1
+// penalty for any violation. Kept for the ablation benchmark comparing soft
+// and hard constraint enforcement.
+func (p RewardParams) HardReward(normFreq, powerW float64) float64 {
+	if powerW <= p.PCritW {
+		return normFreq
+	}
+	return -1
+}

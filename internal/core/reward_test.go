@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var paperReward = RewardParams{PCritW: 0.6, KOffsetW: 0.05}
+
+func TestRewardBelowConstraint(t *testing.T) {
+	// Below P_crit the reward is the performance surrogate f/f_max.
+	for _, nf := range []float64{0.069, 0.5, 1.0} {
+		for _, p := range []float64{0, 0.3, 0.6} {
+			if got := paperReward.Reward(nf, p); got != nf {
+				t.Errorf("Reward(%v, %v) = %v, want %v", nf, p, got, nf)
+			}
+		}
+	}
+}
+
+func TestRewardSoftBand(t *testing.T) {
+	// Between P_crit and P_crit+k the reward scales down linearly.
+	got := paperReward.Reward(0.8, 0.625) // halfway into the band
+	want := 0.8 * 0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Reward in soft band = %v, want %v", got, want)
+	}
+	// At exactly P_crit + k the reward is zero.
+	if got := paperReward.Reward(0.8, 0.65); math.Abs(got) > 1e-12 {
+		t.Errorf("Reward at P_crit+k = %v, want 0", got)
+	}
+}
+
+func TestRewardNegativeBand(t *testing.T) {
+	// Between P_crit+k and P_crit+2k the reward goes 0 → -1 independent of
+	// frequency.
+	got := paperReward.Reward(0.3, 0.675) // halfway through the band
+	if math.Abs(got+0.5) > 1e-12 {
+		t.Errorf("Reward in negative band = %v, want -0.5", got)
+	}
+	if got := paperReward.Reward(1.0, 0.7); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Reward at P_crit+2k = %v, want -1", got)
+	}
+}
+
+func TestRewardSaturates(t *testing.T) {
+	for _, p := range []float64{0.71, 1.0, 10} {
+		if got := paperReward.Reward(1.0, p); got != -1 {
+			t.Errorf("Reward(1, %v) = %v, want -1", p, got)
+		}
+	}
+}
+
+func TestRewardContinuity(t *testing.T) {
+	// Eq. (4) is continuous at all three breakpoints.
+	const eps = 1e-9
+	nf := 0.7
+	breaks := []float64{
+		paperReward.PCritW,
+		paperReward.PCritW + paperReward.KOffsetW,
+		paperReward.PCritW + 2*paperReward.KOffsetW,
+	}
+	for _, b := range breaks {
+		lo := paperReward.Reward(nf, b-eps)
+		hi := paperReward.Reward(nf, b+eps)
+		if math.Abs(lo-hi) > 1e-6 {
+			t.Errorf("discontinuity at P=%v: %v vs %v", b, lo, hi)
+		}
+	}
+}
+
+func TestRewardMatchesFig2Anchor(t *testing.T) {
+	// Fig. 2 anchor points: at f_max with P under budget the reward is 1;
+	// at the lowest Jetson level (102/1479 MHz) it is ~0.069.
+	if got := paperReward.Reward(1.0, 0.5); got != 1.0 {
+		t.Errorf("f_max under budget = %v, want 1", got)
+	}
+	nf := 102.0 / 1479.0
+	if got := paperReward.Reward(nf, 0.2); math.Abs(got-nf) > 1e-12 {
+		t.Errorf("lowest level = %v, want %v", got, nf)
+	}
+}
+
+func TestHardReward(t *testing.T) {
+	if got := paperReward.HardReward(0.8, 0.6); got != 0.8 {
+		t.Errorf("hard reward under budget = %v, want 0.8", got)
+	}
+	if got := paperReward.HardReward(0.8, 0.601); got != -1 {
+		t.Errorf("hard reward on violation = %v, want -1", got)
+	}
+}
+
+func TestRewardHardFlag(t *testing.T) {
+	rp := paperReward
+	rp.Hard = true
+	if got := rp.Reward(0.8, 0.62); got != -1 {
+		t.Errorf("Hard-flagged reward = %v, want -1 (hard cut)", got)
+	}
+	if got := rp.Reward(0.8, 0.55); got != 0.8 {
+		t.Errorf("Hard-flagged reward under budget = %v, want 0.8", got)
+	}
+}
+
+func TestRewardParamsValidate(t *testing.T) {
+	if err := paperReward.Validate(); err != nil {
+		t.Fatalf("paper params invalid: %v", err)
+	}
+	for _, rp := range []RewardParams{
+		{PCritW: 0, KOffsetW: 0.05},
+		{PCritW: -1, KOffsetW: 0.05},
+		{PCritW: 0.6, KOffsetW: 0},
+		{PCritW: 0.6, KOffsetW: -0.1},
+	} {
+		if err := rp.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", rp)
+		}
+	}
+}
+
+// Property: the reward is always within [-1, max(normFreq, 0)] ⊆ [-1, 1]
+// for normFreq in [0, 1], and monotonically non-increasing in power.
+func TestRewardBoundsAndMonotonicityProperty(t *testing.T) {
+	f := func(nfRaw, p1Raw, p2Raw float64) bool {
+		nf := math.Abs(math.Mod(nfRaw, 1))
+		p1 := math.Abs(math.Mod(p1Raw, 2))
+		p2 := math.Abs(math.Mod(p2Raw, 2))
+		if math.IsNaN(nf) || math.IsNaN(p1) || math.IsNaN(p2) {
+			return true
+		}
+		r1 := paperReward.Reward(nf, p1)
+		if r1 < -1-1e-12 || r1 > nf+1e-12 {
+			return false
+		}
+		if p1 > p2 {
+			p1, p2 = p2, p1
+			r1 = paperReward.Reward(nf, p1)
+		}
+		r2 := paperReward.Reward(nf, p2)
+		return r2 <= r1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for fixed power under the constraint, the reward is strictly
+// increasing in frequency (the agent is always rewarded for running faster
+// when the budget holds).
+func TestRewardFrequencyMonotoneProperty(t *testing.T) {
+	f := func(aRaw, bRaw float64) bool {
+		a := math.Abs(math.Mod(aRaw, 1))
+		b := math.Abs(math.Mod(bRaw, 1))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return paperReward.Reward(a, 0.5) <= paperReward.Reward(b, 0.5)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

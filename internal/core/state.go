@@ -1,0 +1,34 @@
+package core
+
+import "fedpower/internal/sim"
+
+// StateDim is the dimensionality of the agent state
+// s = (f, P, ipc, mr, mpki) from §III-A.
+const StateDim = 5
+
+// State feature scaling. The raw counter readings span very different
+// ranges (frequency ~10³ MHz, MPKI ~10¹, miss rate ~10⁻¹); each feature is
+// scaled to roughly [0, 1] so the single hidden layer does not have to learn
+// the scales itself. The divisors are fixed platform constants, identical on
+// every device, so scaling leaks no device-specific information into the
+// shared model.
+const (
+	powerScaleW = 1.5 // upper end of the Jetson Nano single-core power range
+	ipcScale    = 2.0 // IPC ceiling of the Cortex-A57 model
+	mpkiScale   = 25  // MPKI of the most memory-intensive application
+)
+
+// StateVector writes the normalised state features for obs into dst (which
+// must have StateDim capacity; pass nil to allocate) and returns it.
+func StateVector(obs sim.Observation, dst []float64) []float64 {
+	if cap(dst) < StateDim {
+		dst = make([]float64, StateDim)
+	}
+	dst = dst[:StateDim]
+	dst[0] = obs.NormFreq
+	dst[1] = obs.PowerW / powerScaleW
+	dst[2] = obs.IPC / ipcScale
+	dst[3] = obs.MissRate
+	dst[4] = obs.MPKI / mpkiScale
+	return dst
+}

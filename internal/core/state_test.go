@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"fedpower/internal/sim"
+)
+
+func obsFixture() sim.Observation {
+	return sim.Observation{
+		NormFreq: 0.623,
+		PowerW:   0.55,
+		IPC:      1.3,
+		MissRate: 0.08,
+		MPKI:     12.5,
+	}
+}
+
+func TestStateVectorValues(t *testing.T) {
+	s := StateVector(obsFixture(), nil)
+	if len(s) != StateDim {
+		t.Fatalf("state length %d, want %d", len(s), StateDim)
+	}
+	want := []float64{0.623, 0.55 / 1.5, 1.3 / 2.0, 0.08, 12.5 / 25}
+	for i := range want {
+		if diff := s[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("state[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestStateVectorNormalisedRange(t *testing.T) {
+	// For observations within the platform's physical envelope every
+	// feature lands in [0, ~1.2]: comparable scales for the single hidden
+	// layer.
+	obs := sim.Observation{NormFreq: 1, PowerW: 1.5, IPC: 2.0, MissRate: 0.3, MPKI: 25}
+	for i, v := range StateVector(obs, nil) {
+		if v < 0 || v > 1.25 {
+			t.Errorf("feature %d = %v outside the normalised envelope", i, v)
+		}
+	}
+}
+
+func TestStateVectorReusesDst(t *testing.T) {
+	dst := make([]float64, StateDim)
+	out := StateVector(obsFixture(), dst)
+	if &out[0] != &dst[0] {
+		t.Fatal("StateVector reallocated although dst had capacity")
+	}
+	// Undersized dst must be replaced, not written out of bounds.
+	small := make([]float64, 2)
+	out = StateVector(obsFixture(), small)
+	if len(out) != StateDim {
+		t.Fatalf("undersized dst: got length %d", len(out))
+	}
+}
+
+func TestStateVectorMatchesPaperFeatures(t *testing.T) {
+	// §III-A: s = (f, P, ipc, mr, mpki) — exactly five features in this
+	// order. Guard the order with distinct sentinel values.
+	obs := sim.Observation{NormFreq: 0.1, PowerW: 0.2, IPC: 0.3, MissRate: 0.4, MPKI: 0.5}
+	s := StateVector(obs, nil)
+	if s[0] != 0.1 {
+		t.Error("feature 0 must be the normalised frequency")
+	}
+	if s[1] != 0.2/1.5 {
+		t.Error("feature 1 must be the scaled power")
+	}
+	if s[2] != 0.3/2.0 {
+		t.Error("feature 2 must be the scaled IPC")
+	}
+	if s[3] != 0.4 {
+		t.Error("feature 3 must be the miss rate")
+	}
+	if s[4] != 0.5/25 {
+		t.Error("feature 4 must be the scaled MPKI")
+	}
+}

@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestRunComparisonPopulatesAllApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison training skipped in -short mode")
+	}
+	o := smallOptions()
+	res, err := RunComparison(o, 0, TableII()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := res.Apps()
+	if len(apps) != 12 {
+		t.Fatalf("comparison covers %d apps, want 12", len(apps))
+	}
+	for _, app := range apps {
+		ours, base := res.Ours[app], res.Base[app]
+		// Two eval points (rounds 6, 12) for ours; twice that for the
+		// baseline (two devices).
+		if ours.Exec.N() != 2 {
+			t.Errorf("%s: ours has %d eval points, want 2", app, ours.Exec.N())
+		}
+		if base.Exec.N() != 4 {
+			t.Errorf("%s: baseline has %d eval points, want 4", app, base.Exec.N())
+		}
+		if ours.Exec.Mean() <= 0 || base.Exec.Mean() <= 0 {
+			t.Errorf("%s: non-positive execution times", app)
+		}
+		if ours.IPS.Mean() <= 0 || base.IPS.Mean() <= 0 {
+			t.Errorf("%s: non-positive IPS", app)
+		}
+		if ours.Power.Mean() <= 0 || base.Power.Mean() <= 0 {
+			t.Errorf("%s: non-positive power", app)
+		}
+	}
+}
+
+func TestRunComparisonDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison training skipped in -short mode")
+	}
+	o := smallOptions()
+	o.Rounds = 6
+	o.ExecEvalEvery = 6
+	a, err := RunComparison(o, 0, TableII()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunComparison(o, 0, TableII()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range a.Apps() {
+		if a.Ours[app].Exec.Mean() != b.Ours[app].Exec.Mean() {
+			t.Fatalf("%s: ours exec differs across identical runs", app)
+		}
+		if a.Base[app].Power.Mean() != b.Base[app].Power.Mean() {
+			t.Fatalf("%s: baseline power differs across identical runs", app)
+		}
+	}
+}
+
+func TestRunComparisonValidatesInput(t *testing.T) {
+	o := smallOptions()
+	o.StepsPerRound = 0
+	if _, err := RunComparison(o, 0, TableII()[0]); err == nil {
+		t.Error("invalid options accepted")
+	}
+	if _, err := RunComparison(smallOptions(), 0, Scenario{Name: "bad", Devices: [][]string{{"x"}}}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestTechAverages(t *testing.T) {
+	m := map[string]*AppMetrics{}
+	add := func(name string, exec, ips, pow float64) {
+		am := &AppMetrics{}
+		am.Exec.Add(exec)
+		am.IPS.Add(ips)
+		am.Power.Add(pow)
+		m[name] = am
+	}
+	add("a", 10, 1e9, 0.5)
+	add("b", 30, 3e9, 0.7)
+	e, i, p := TechAverages(m)
+	if e != 20 || i != 2e9 || p != 0.6 {
+		t.Fatalf("TechAverages = (%v, %v, %v)", e, i, p)
+	}
+}
+
+func TestTable3Deltas(t *testing.T) {
+	r := &Table3Result{
+		OursExecS: 24, BaseExecS: 30,
+		OursIPS: 1.17e9, BaseIPS: 1e9,
+		OursPowerW: 0.545, BasePowerW: 0.5,
+	}
+	if got := r.ExecDeltaPct(); got > -19 || got < -21 {
+		t.Errorf("exec delta %v%%, want -20%%", got)
+	}
+	if got := r.IPSDeltaPct(); got < 16 || got > 18 {
+		t.Errorf("IPS delta %v%%, want +17%%", got)
+	}
+	if got := r.PowerDeltaPct(); got < 8 || got > 10 {
+		t.Errorf("power delta %v%%, want +9%%", got)
+	}
+}
+
+// TestComparisonShapeMatchesPaper is the behavioural acceptance test for
+// Table III: at the paper's full training budget, the federated neural
+// controller must beat Profit+CollabPolicy on execution time and IPS while
+// both stay near or below the power constraint. Deterministic by seed, and
+// still sub-second — the simulator is cheap.
+func TestComparisonShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison training skipped in -short mode")
+	}
+	o := DefaultOptions()
+	res, err := RunComparison(o, 1, TableII()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	oe, oi, op := TechAverages(res.Ours)
+	be, bi, bp := TechAverages(res.Base)
+	if oe >= be {
+		t.Errorf("ours exec %v s not faster than baseline %v s", oe, be)
+	}
+	if oi <= bi {
+		t.Errorf("ours IPS %v not above baseline %v", oi, bi)
+	}
+	// Both techniques must keep average power near the 0.6 W budget
+	// (small overshoot tolerated: the average includes noisy measurements).
+	for name, p := range map[string]float64{"ours": op, "baseline": bp} {
+		if p > o.Core.Reward.PCritW*1.05 {
+			t.Errorf("%s average power %v W exceeds the budget", name, p)
+		}
+	}
+}
+
+func TestFig5Speedups(t *testing.T) {
+	mk := func(oursExec, baseExec, oursIPS, baseIPS float64) (*AppMetrics, *AppMetrics) {
+		a, b := &AppMetrics{}, &AppMetrics{}
+		a.Exec.Add(oursExec)
+		a.IPS.Add(oursIPS)
+		a.Power.Add(0.5)
+		b.Exec.Add(baseExec)
+		b.IPS.Add(baseIPS)
+		b.Power.Add(0.5)
+		return a, b
+	}
+	res := &Fig5Result{Comparison: &ComparisonResult{
+		Ours: map[string]*AppMetrics{},
+		Base: map[string]*AppMetrics{},
+	}}
+	res.Comparison.Ours["a"], res.Comparison.Base["a"] = mk(8, 10, 1.2e9, 1e9)
+	res.Comparison.Ours["b"], res.Comparison.Base["b"] = mk(5, 10, 2e9, 1e9)
+
+	avg, max := res.MeanExecSpeedupPct()
+	if avg != 35 || max != 50 {
+		t.Errorf("exec speedup avg %v max %v, want 35 / 50", avg, max)
+	}
+	avgI, maxI := res.MeanIPSGainPct()
+	if avgI != 60 || maxI != 100 {
+		t.Errorf("IPS gain avg %v max %v, want 60 / 100", avgI, maxI)
+	}
+}

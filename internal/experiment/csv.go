@@ -1,0 +1,178 @@
+package experiment
+
+// CSV exporters: every figure/table result can be dumped as machine-
+// readable CSV so external plotting tools can regenerate the paper's
+// graphics from the simulated data (cmd/fedpower -csv <dir>).
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+func writeAll(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiment: write csv header: %w", err)
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return fmt.Errorf("experiment: write csv rows: %w", err)
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// WriteFig3CSV dumps the per-round evaluation rewards of every scenario:
+// one row per (scenario, round) with the local and federated series.
+func WriteFig3CSV(w io.Writer, res *Fig3Result) error {
+	header := []string{"scenario", "round", "eval_app", "local_a_reward", "local_b_reward", "fed_reward"}
+	var rows [][]string
+	for _, sc := range res.Scenarios {
+		for i, e := range sc.Fed {
+			rows = append(rows, []string{
+				sc.Scenario.Name,
+				strconv.Itoa(e.Round),
+				e.App,
+				ftoa(sc.Local[0][i].Reward),
+				ftoa(sc.Local[1][i].Reward),
+				ftoa(e.Reward),
+			})
+		}
+	}
+	return writeAll(w, header, rows)
+}
+
+// WriteFig4CSV dumps the frequency-selection traces of scenario 2: mean
+// and standard deviation of the selected normalised frequency per round
+// for both local policies and the federated one.
+func WriteFig4CSV(w io.Writer, f4 *Fig4Result) error {
+	header := []string{
+		"round",
+		"local_a_mean", "local_a_std",
+		"local_b_mean", "local_b_std",
+		"fed_mean", "fed_std",
+	}
+	var rows [][]string
+	for i, r := range f4.Rounds {
+		rows = append(rows, []string{
+			strconv.Itoa(r),
+			ftoa(f4.LocalA[i]), ftoa(f4.LocalAStd[i]),
+			ftoa(f4.LocalB[i]), ftoa(f4.LocalBStd[i]),
+			ftoa(f4.Fed[i]), ftoa(f4.FedStd[i]),
+		})
+	}
+	return writeAll(w, header, rows)
+}
+
+// WriteTable3CSV dumps the aggregate comparison rows.
+func WriteTable3CSV(w io.Writer, res *Table3Result) error {
+	header := []string{"category", "ours", "profit_collab", "delta_pct"}
+	rows := [][]string{
+		{"exec_time_s", ftoa(res.OursExecS), ftoa(res.BaseExecS), ftoa(res.ExecDeltaPct())},
+		{"ips", ftoa(res.OursIPS), ftoa(res.BaseIPS), ftoa(res.IPSDeltaPct())},
+		{"power_w", ftoa(res.OursPowerW), ftoa(res.BasePowerW), ftoa(res.PowerDeltaPct())},
+	}
+	return writeAll(w, header, rows)
+}
+
+// WriteFig5CSV dumps the per-application split-half comparison.
+func WriteFig5CSV(w io.Writer, res *Fig5Result) error {
+	header := []string{
+		"app",
+		"exec_s_ours", "exec_s_base",
+		"ips_ours", "ips_base",
+		"power_w_ours", "power_w_base",
+	}
+	var rows [][]string
+	cmp := res.Comparison
+	for _, app := range cmp.Apps() {
+		rows = append(rows, []string{
+			app,
+			ftoa(cmp.Ours[app].Exec.Mean()), ftoa(cmp.Base[app].Exec.Mean()),
+			ftoa(cmp.Ours[app].IPS.Mean()), ftoa(cmp.Base[app].IPS.Mean()),
+			ftoa(cmp.Ours[app].Power.Mean()), ftoa(cmp.Base[app].Power.Mean()),
+		})
+	}
+	return writeAll(w, header, rows)
+}
+
+// WriteFig2CSV dumps the reward grid, one row per (level, power) pair.
+func WriteFig2CSV(w io.Writer, res *Fig2Result) error {
+	header := []string{"freq_mhz", "power_w", "reward"}
+	var rows [][]string
+	for k, f := range res.FreqMHz {
+		for j, p := range res.PowerW {
+			rows = append(rows, []string{ftoa(f), ftoa(p), ftoa(res.Reward[k][j])})
+		}
+	}
+	return writeAll(w, header, rows)
+}
+
+// WriteGovernorsCSV dumps the governor-comparison summary, one row per
+// (policy, app).
+func WriteGovernorsCSV(w io.Writer, res *GovernorsResult) error {
+	header := []string{"policy", "app", "avg_reward", "exec_s", "avg_power_w", "violations"}
+	var rows [][]string
+	for _, pol := range res.Policies {
+		for _, app := range res.Apps() {
+			e := res.PerApp[pol][app]
+			rows = append(rows, []string{
+				pol, app,
+				ftoa(e.AvgReward), ftoa(e.ExecTimeS), ftoa(e.AvgPowerW),
+				strconv.Itoa(e.Violations),
+			})
+		}
+	}
+	return writeAll(w, header, rows)
+}
+
+// WriteMultiCoreCSV dumps the multi-core extension's per-round traces.
+func WriteMultiCoreCSV(w io.Writer, res *MultiCoreResult) error {
+	header := []string{"round", "local_a_reward", "local_b_reward", "fed_reward"}
+	var rows [][]string
+	for i, e := range res.Fed {
+		rows = append(rows, []string{
+			strconv.Itoa(e.Round),
+			ftoa(res.Local[0][i].Reward),
+			ftoa(res.Local[1][i].Reward),
+			ftoa(e.Reward),
+		})
+	}
+	return writeAll(w, header, rows)
+}
+
+// WritePrivacyCSV dumps the architecture comparison of the privacy
+// experiment.
+func WritePrivacyCSV(w io.Writer, res *PrivacyResult) error {
+	header := []string{"architecture", "avg_reward", "total_bytes", "raw_trace_bytes"}
+	rows := [][]string{}
+	for _, a := range []ArchEval{res.Local, res.Federated, res.Central} {
+		rows = append(rows, []string{
+			a.Name, ftoa(a.AvgReward),
+			strconv.FormatInt(a.TotalBytes, 10),
+			strconv.FormatInt(a.RawTraceBytes, 10),
+		})
+	}
+	return writeAll(w, header, rows)
+}
+
+// WriteHeteroCSV dumps the heterogeneous-budget extension results.
+func WriteHeteroCSV(w io.Writer, res *HeteroResult) error {
+	header := []string{
+		"budget_w",
+		"hetero_reward", "hetero_violation_rate",
+		"homog_reward", "homog_violation_rate",
+	}
+	var rows [][]string
+	for i, b := range res.Budgets {
+		rows = append(rows, []string{
+			ftoa(b),
+			ftoa(res.Hetero[i].AvgReward), ftoa(res.Hetero[i].ViolationRate),
+			ftoa(res.Homog[i].AvgReward), ftoa(res.Homog[i].ViolationRate),
+		})
+	}
+	return writeAll(w, header, rows)
+}

@@ -1,0 +1,205 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+
+	"fedpower/internal/core"
+	"fedpower/internal/sim"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("generated CSV does not parse: %v", err)
+	}
+	return records
+}
+
+func TestWriteFig2CSV(t *testing.T) {
+	res := RunFig2(sim.JetsonNanoTable(), core.RewardParams{PCritW: 0.6, KOffsetW: 0.05}, 5)
+	var buf bytes.Buffer
+	if err := WriteFig2CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 1+15*5 {
+		t.Fatalf("%d rows, want header + 75", len(records))
+	}
+	if records[0][0] != "freq_mhz" {
+		t.Fatalf("header %v", records[0])
+	}
+	// Spot-check one cell against the reward function.
+	for _, rec := range records[1:] {
+		f, _ := strconv.ParseFloat(rec[0], 64)
+		p, _ := strconv.ParseFloat(rec[1], 64)
+		r, _ := strconv.ParseFloat(rec[2], 64)
+		want := (core.RewardParams{PCritW: 0.6, KOffsetW: 0.05}).Reward(f/1479.0, p)
+		if diff := r - want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("row %v: reward %v, want %v", rec, r, want)
+		}
+	}
+}
+
+func TestWriteFig3AndFig4CSV(t *testing.T) {
+	o := smallOptions()
+	o.Rounds = 4
+	sc, err := RunScenario(o, 1, TableII()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Fig3Result{Scenarios: []*ScenarioResult{sc}}
+
+	var buf bytes.Buffer
+	if err := WriteFig3CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 1+o.Rounds {
+		t.Fatalf("fig3: %d rows, want header + %d", len(records), o.Rounds)
+	}
+	if got := records[1][1]; got != "1" {
+		t.Fatalf("first round labelled %q", got)
+	}
+	// Round-trip one value.
+	fed, _ := strconv.ParseFloat(records[1][5], 64)
+	if diff := fed - sc.Fed[0].Reward; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("fed reward %v, want %v", fed, sc.Fed[0].Reward)
+	}
+
+	f4, err := Fig4FromScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFig4CSV(&buf, f4); err != nil {
+		t.Fatal(err)
+	}
+	records = parseCSV(t, &buf)
+	if len(records) != 1+o.Rounds {
+		t.Fatalf("fig4: %d rows", len(records))
+	}
+	if len(records[0]) != 7 {
+		t.Fatalf("fig4 header has %d columns, want 7", len(records[0]))
+	}
+}
+
+func TestWriteTable3CSV(t *testing.T) {
+	res := &Table3Result{
+		OursExecS: 24, BaseExecS: 30,
+		OursIPS: 0.9e9, BaseIPS: 0.8e9,
+		OursPowerW: 0.5, BasePowerW: 0.45,
+	}
+	var buf bytes.Buffer
+	if err := WriteTable3CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 4 {
+		t.Fatalf("%d rows, want header + 3", len(records))
+	}
+	if records[1][0] != "exec_time_s" || records[1][1] != "24" {
+		t.Fatalf("exec row %v", records[1])
+	}
+	delta, _ := strconv.ParseFloat(records[1][3], 64)
+	if delta > -19 || delta < -21 {
+		t.Fatalf("exec delta %v, want -20", delta)
+	}
+}
+
+func TestWriteFig5CSV(t *testing.T) {
+	cmp := &ComparisonResult{Ours: map[string]*AppMetrics{}, Base: map[string]*AppMetrics{}}
+	for _, app := range []string{"fft", "lu"} {
+		a, b := &AppMetrics{}, &AppMetrics{}
+		a.Exec.Add(20)
+		a.IPS.Add(1e9)
+		a.Power.Add(0.5)
+		b.Exec.Add(25)
+		b.IPS.Add(0.8e9)
+		b.Power.Add(0.45)
+		cmp.Ours[app], cmp.Base[app] = a, b
+	}
+	var buf bytes.Buffer
+	if err := WriteFig5CSV(&buf, &Fig5Result{Comparison: cmp}); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 3 {
+		t.Fatalf("%d rows, want header + 2", len(records))
+	}
+	// Apps come out sorted.
+	if records[1][0] != "fft" || records[2][0] != "lu" {
+		t.Fatalf("rows %v / %v", records[1], records[2])
+	}
+}
+
+func TestWriteMultiCoreCSV(t *testing.T) {
+	res := &MultiCoreResult{
+		Cores: 4, BudgetW: 1.8,
+		Fed: []RoundEval{{Round: 1, Reward: 0.6}, {Round: 2, Reward: 0.65}},
+		Local: [][]RoundEval{
+			{{Round: 1, Reward: 0.5}, {Round: 2, Reward: 0.55}},
+			{{Round: 1, Reward: 0.4}, {Round: 2, Reward: 0.45}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMultiCoreCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 3 {
+		t.Fatalf("%d rows, want header + 2", len(records))
+	}
+	if records[1][3] != "0.6" || records[2][2] != "0.45" {
+		t.Fatalf("cells %v / %v", records[1], records[2])
+	}
+}
+
+func TestWriteGovernorsCSV(t *testing.T) {
+	res := &GovernorsResult{
+		Policies: []string{"federated-rl", "powersave"},
+		PerApp: map[string]map[string]EvalResult{
+			"federated-rl": {"fft": {App: "fft", AvgReward: 0.6, ExecTimeS: 25, AvgPowerW: 0.5, Violations: 3}},
+			"powersave":    {"fft": {App: "fft", AvgReward: 0.07, ExecTimeS: 150, AvgPowerW: 0.13}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteGovernorsCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 3 {
+		t.Fatalf("%d rows, want header + 2", len(records))
+	}
+	if records[1][0] != "federated-rl" || records[1][5] != "3" {
+		t.Fatalf("row %v", records[1])
+	}
+}
+
+func TestWriteHeteroCSV(t *testing.T) {
+	res := &HeteroResult{
+		Budgets: []float64{0.45, 0.75},
+		Hetero: []BudgetEval{
+			{BudgetW: 0.45, AvgReward: -0.1, ViolationRate: 0.7},
+			{BudgetW: 0.75, AvgReward: 0.7, ViolationRate: 0},
+		},
+		Homog: []BudgetEval{
+			{BudgetW: 0.45, AvgReward: -0.5, ViolationRate: 0.99},
+			{BudgetW: 0.75, AvgReward: 0.8, ViolationRate: 0.01},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteHeteroCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 3 {
+		t.Fatalf("%d rows, want header + 2", len(records))
+	}
+	if records[1][0] != "0.45" {
+		t.Fatalf("budget cell %q", records[1][0])
+	}
+}

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"fedpower/internal/trace"
+)
+
+func TestRecordPolicyEpisode(t *testing.T) {
+	o := smallOptions()
+	var buf bytes.Buffer
+	rec := trace.NewCSVRecorder(&buf)
+	spec := EvalApps()[6] // ocean: completes quickly at high levels
+	steps, err := RecordPolicyEpisode(o, levelPolicy(14), spec, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := trace.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != steps {
+		t.Fatalf("recorded %d entries for %d steps", len(entries), steps)
+	}
+	if steps == 0 {
+		t.Fatal("no steps recorded")
+	}
+	// The trace is internally consistent: monotone time and step, the
+	// fixed level everywhere, app name correct.
+	for i, e := range entries {
+		if e.Step != i+1 {
+			t.Fatalf("entry %d has step %d", i, e.Step)
+		}
+		if e.App != "ocean" {
+			t.Fatalf("entry %d app %q", i, e.App)
+		}
+		if e.Level != 14 {
+			t.Fatalf("entry %d level %d, want 14", i, e.Level)
+		}
+		if i > 0 && e.TimeS <= entries[i-1].TimeS {
+			t.Fatalf("time not monotone at entry %d", i)
+		}
+	}
+	// ocean at f_max: ~27 s of simulated execution at 0.5 s intervals.
+	if steps < 40 || steps > 70 {
+		t.Fatalf("ocean completed in %d steps, want ~54", steps)
+	}
+}
+
+func TestRecordEpisodeTrainsAndRecords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	o := smallOptions()
+	o.Rounds = 15
+	var buf bytes.Buffer
+	rec := trace.NewJSONLRecorder(&buf)
+	steps, err := RecordEpisode(o, "radix", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := trace.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != steps || steps == 0 {
+		t.Fatalf("%d entries for %d steps", len(entries), steps)
+	}
+	stats := SummariseTrace(entries, o.Core.Reward.PCritW)
+	if stats.MeanPowerW <= 0 {
+		t.Fatalf("degenerate trace stats %+v", stats)
+	}
+}
+
+func TestRecordEpisodeUnknownApp(t *testing.T) {
+	o := smallOptions()
+	var buf bytes.Buffer
+	if _, err := RecordEpisode(o, "doom", trace.NewCSVRecorder(&buf)); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestSummariseTrace(t *testing.T) {
+	entries := []trace.Entry{
+		{PowerW: 0.5, Reward: 0.6},
+		{PowerW: 0.7, Reward: -0.4},
+		{PowerW: 0.6, Reward: 1.0},
+	}
+	s := SummariseTrace(entries, 0.6)
+	if s.Steps != 3 {
+		t.Fatalf("steps %d", s.Steps)
+	}
+	if s.Violations != 1 {
+		t.Fatalf("violations %d, want 1 (0.7 only; 0.6 is at the budget)", s.Violations)
+	}
+	if diff := s.MeanPowerW - 0.6; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mean power %v", s.MeanPowerW)
+	}
+	if diff := s.MeanReward - 0.4; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mean reward %v", s.MeanReward)
+	}
+	if z := SummariseTrace(nil, 0.6); z.Steps != 0 || z.MeanPowerW != 0 {
+		t.Fatalf("empty summary %+v", z)
+	}
+}

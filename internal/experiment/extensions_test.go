@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"testing"
+
+	"fedpower/internal/governor"
+	"fedpower/internal/sim"
+)
+
+func TestNewGovernorPolicyResetsAndDelegates(t *testing.T) {
+	g := governor.NewPowerCap(15, 0.6, 0.1)
+	g.Action(sim.Observation{Level: 10, PowerW: 0.9}) // dirty internal state
+	pol := NewGovernorPolicy(g)                       // must reset
+	// After reset the capper seeds from the next observation (3) and steps
+	// up on ample headroom.
+	if got := pol.Action(sim.Observation{Level: 3, PowerW: 0.2}); got != 4 {
+		t.Fatalf("action %d, want 4 from a reset capper", got)
+	}
+}
+
+func TestRunGovernorsComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("governor comparison skipped in -short mode")
+	}
+	o := smallOptions()
+	o.Rounds = 40
+	res, err := RunGovernors(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != 5 {
+		t.Fatalf("%d policies, want 5 (RL + 4 governors)", len(res.Policies))
+	}
+	if res.Policies[0] != "federated-rl" {
+		t.Fatalf("first policy %q, want federated-rl", res.Policies[0])
+	}
+	if got := len(res.Apps()); got != 12 {
+		t.Fatalf("evaluated %d apps, want 12", got)
+	}
+
+	rlReward, _, _, _ := res.Summary("federated-rl")
+	_, perfExec, perfPower, perfViol := res.Summary("performance")
+	psReward, psExec, _, psViol := res.Summary("powersave")
+	_, capExec, capPower, _ := res.Summary("powercap")
+
+	// Structural facts, not tuning-dependent margins:
+	// performance violates the budget massively and runs hottest...
+	if perfViol == 0 {
+		t.Error("performance governor never violated the budget")
+	}
+	if perfPower <= 0.6 {
+		t.Errorf("performance governor average power %v W, want above the budget", perfPower)
+	}
+	// ...powersave never violates but is by far the slowest...
+	if psViol != 0 {
+		t.Errorf("powersave governor violated %d times", psViol)
+	}
+	if psExec < 2*capExec {
+		t.Errorf("powersave exec %v s should dwarf powercap %v s", psExec, capExec)
+	}
+	// ...the capper respects the budget on average...
+	if capPower > 0.6*1.05 {
+		t.Errorf("powercap average power %v W exceeds the budget", capPower)
+	}
+	// ...and the learned policy earns more reward than blind min/max.
+	if rlReward <= psReward {
+		t.Errorf("RL reward %v does not beat powersave %v", rlReward, psReward)
+	}
+	// performance is the fastest in wall-clock (it ignores the budget);
+	// the RL policy must not be slower than powersave by construction.
+	if perfExec <= 0 {
+		t.Error("degenerate performance exec time")
+	}
+}
+
+func TestRunHeterogeneousBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heterogeneous training skipped in -short mode")
+	}
+	o := smallOptions()
+	o.Rounds = 25
+	budgets := []float64{0.45, 0.75}
+	res, err := RunHeterogeneous(o, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hetero) != 2 || len(res.Homog) != 2 {
+		t.Fatalf("result sizes hetero=%d homog=%d, want 2/2", len(res.Hetero), len(res.Homog))
+	}
+	for i, b := range budgets {
+		if res.Hetero[i].BudgetW != b || res.Homog[i].BudgetW != b {
+			t.Fatalf("budget labels mismatch at %d", i)
+		}
+		for _, e := range []BudgetEval{res.Hetero[i], res.Homog[i]} {
+			if e.ViolationRate < 0 || e.ViolationRate > 1 {
+				t.Fatalf("violation rate %v outside [0,1]", e.ViolationRate)
+			}
+			if e.AvgPowerW <= 0 {
+				t.Fatalf("degenerate power %v", e.AvgPowerW)
+			}
+		}
+	}
+	// Structural expectation: both policies violate the tight budget more
+	// often than the loose one.
+	if res.Hetero[0].ViolationRate < res.Hetero[1].ViolationRate {
+		t.Errorf("hetero policy violates the loose budget (%v) more than the tight one (%v)",
+			res.Hetero[1].ViolationRate, res.Hetero[0].ViolationRate)
+	}
+}
+
+func TestRunHeterogeneousValidation(t *testing.T) {
+	o := smallOptions()
+	if _, err := RunHeterogeneous(o, []float64{0.6}); err == nil {
+		t.Error("single budget accepted")
+	}
+	if _, err := RunHeterogeneous(o, []float64{0.6, -1}); err == nil {
+		t.Error("negative budget accepted")
+	}
+	bad := o
+	bad.Rounds = 0
+	if _, err := RunHeterogeneous(bad, []float64{0.5, 0.7}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+func TestRunGovernorsValidation(t *testing.T) {
+	o := smallOptions()
+	o.EvalSteps = 0
+	if _, err := RunGovernors(o); err == nil {
+		t.Error("invalid options accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"fedpower/internal/core"
+	"fedpower/internal/sim"
+)
+
+// Fig2Result tabulates the reward signal of Eq. (4) — the data behind
+// Fig. 2: for every V/f level of the processor, the reward as a function of
+// the power consumption observed in the following timestep.
+type Fig2Result struct {
+	// FreqMHz lists the processor's frequency levels.
+	FreqMHz []float64
+	// PowerW is the swept power axis.
+	PowerW []float64
+	// Reward[k][j] is the reward for running at level k while drawing
+	// PowerW[j] watts.
+	Reward [][]float64
+	// Params echoes the reward parameters used.
+	Params core.RewardParams
+}
+
+// RunFig2 sweeps the reward function over the V/f table and a uniform power
+// axis from 0 to P_crit + 4·k_offset, well past the saturation point.
+func RunFig2(table *sim.VFTable, rp core.RewardParams, points int) *Fig2Result {
+	if points < 2 {
+		points = 2
+	}
+	maxP := rp.PCritW + 4*rp.KOffsetW
+	powers := make([]float64, points)
+	for j := range powers {
+		powers[j] = maxP * float64(j) / float64(points-1)
+	}
+	return RunFig2Powers(table, rp, powers)
+}
+
+// RunFig2Powers sweeps the reward function over the V/f table and an
+// explicit power axis, letting callers resolve the transition band between
+// P_crit and P_crit + 2·k_offset finely.
+func RunFig2Powers(table *sim.VFTable, rp core.RewardParams, powers []float64) *Fig2Result {
+	res := &Fig2Result{Params: rp, PowerW: append([]float64(nil), powers...)}
+	for k := 0; k < table.Len(); k++ {
+		res.FreqMHz = append(res.FreqMHz, table.Level(k).FreqMHz)
+		row := make([]float64, len(res.PowerW))
+		for j, p := range res.PowerW {
+			row[j] = rp.Reward(table.NormFreq(k), p)
+		}
+		res.Reward = append(res.Reward, row)
+	}
+	return res
+}

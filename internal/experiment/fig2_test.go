@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"fedpower/internal/core"
+	"fedpower/internal/sim"
+)
+
+func TestRunFig2Shape(t *testing.T) {
+	table := sim.JetsonNanoTable()
+	rp := core.RewardParams{PCritW: 0.6, KOffsetW: 0.05}
+	res := RunFig2(table, rp, 9)
+	if len(res.FreqMHz) != 15 {
+		t.Fatalf("%d frequency rows, want 15", len(res.FreqMHz))
+	}
+	if len(res.PowerW) != 9 {
+		t.Fatalf("%d power points, want 9", len(res.PowerW))
+	}
+	if len(res.Reward) != 15 || len(res.Reward[0]) != 9 {
+		t.Fatal("reward grid shape mismatch")
+	}
+	// Axis covers 0 to P_crit + 4k.
+	if res.PowerW[0] != 0 || math.Abs(res.PowerW[8]-0.8) > 1e-12 {
+		t.Fatalf("power axis [%v, %v], want [0, 0.8]", res.PowerW[0], res.PowerW[8])
+	}
+}
+
+func TestRunFig2MatchesRewardFunction(t *testing.T) {
+	table := sim.JetsonNanoTable()
+	rp := core.RewardParams{PCritW: 0.6, KOffsetW: 0.05}
+	res := RunFig2(table, rp, 17)
+	for k := range res.FreqMHz {
+		for j, p := range res.PowerW {
+			want := rp.Reward(table.NormFreq(k), p)
+			if res.Reward[k][j] != want {
+				t.Fatalf("grid[%d][%d] = %v, want %v", k, j, res.Reward[k][j], want)
+			}
+		}
+	}
+}
+
+func TestRunFig2PaperAnchors(t *testing.T) {
+	// Fig. 2's characteristic shape: under the budget the top level earns
+	// reward 1 and the bottom level ~0.07; past P_crit + 2k all levels
+	// earn -1.
+	table := sim.JetsonNanoTable()
+	rp := core.RewardParams{PCritW: 0.6, KOffsetW: 0.05}
+	res := RunFig2Powers(table, rp, []float64{0.5, 0.75})
+	top, bottom := len(res.FreqMHz)-1, 0
+	if res.Reward[top][0] != 1 {
+		t.Errorf("top level under budget = %v, want 1", res.Reward[top][0])
+	}
+	if math.Abs(res.Reward[bottom][0]-102.0/1479.0) > 1e-12 {
+		t.Errorf("bottom level under budget = %v, want %v", res.Reward[bottom][0], 102.0/1479.0)
+	}
+	for k := range res.FreqMHz {
+		if res.Reward[k][1] != -1 {
+			t.Errorf("level %d at 0.75 W = %v, want -1", k, res.Reward[k][1])
+		}
+	}
+}
+
+func TestRunFig2MinimumPoints(t *testing.T) {
+	table := sim.JetsonNanoTable()
+	rp := core.RewardParams{PCritW: 0.6, KOffsetW: 0.05}
+	res := RunFig2(table, rp, 0) // clamped to 2
+	if len(res.PowerW) != 2 {
+		t.Fatalf("%d power points, want clamp to 2", len(res.PowerW))
+	}
+}

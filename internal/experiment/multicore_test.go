@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"testing"
+
+	"fedpower/internal/sim"
+	"fedpower/internal/workload"
+)
+
+func TestMultiCoreParamsScaleBudget(t *testing.T) {
+	o := DefaultOptions()
+	p := multiCoreParams(o)
+	if p.Reward.PCritW != MultiCoreBudgetW {
+		t.Fatalf("cluster budget %v, want %v", p.Reward.PCritW, MultiCoreBudgetW)
+	}
+	if p.Reward.KOffsetW <= o.Core.Reward.KOffsetW {
+		t.Fatal("soft band must scale up with the cluster budget")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterDeviceTrainRound(t *testing.T) {
+	o := smallOptions()
+	specs, err := workload.ByNames("fft", "lu", "water-ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := newClusterDevice(o, 1, 4, specs)
+	out, err := dev.TrainRound(1, dev.ctrl.ModelParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 687 {
+		t.Fatalf("returned %d params", len(out))
+	}
+	if dev.ctrl.Step() != o.StepsPerRound {
+		t.Fatalf("took %d steps, want %d", dev.ctrl.Step(), o.StepsPerRound)
+	}
+	// All four cores must be busy after a round (reload keeps them fed).
+	busy := 0
+	for i := 0; i < dev.clu.Cores(); i++ {
+		if !dev.clu.CoreDone(i) {
+			busy++
+		}
+	}
+	if busy != 4 {
+		t.Fatalf("%d cores busy after a round, want 4", busy)
+	}
+}
+
+func TestEvalClusterDeterministic(t *testing.T) {
+	o := smallOptions()
+	model := newClusterDevice(o, 9, 4, workload.SPLASH2()).ctrl.ModelParams()
+	a := evalCluster(o, model, 4, 3, 77)
+	b := evalCluster(o, model, 4, 3, 77)
+	if a != b {
+		t.Fatalf("evalCluster not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Reward < -1 || a.Reward > 1 {
+		t.Fatalf("reward %v outside [-1, 1]", a.Reward)
+	}
+}
+
+func TestRunMultiCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-core training skipped in -short mode")
+	}
+	o := smallOptions()
+	o.Rounds = 15
+	res, err := RunMultiCore(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores != 4 || res.BudgetW != MultiCoreBudgetW {
+		t.Fatalf("result metadata %+v", res)
+	}
+	if len(res.Fed) != o.Rounds || len(res.Local) != 2 {
+		t.Fatalf("trace shapes: fed %d, local %d", len(res.Fed), len(res.Local))
+	}
+	for _, e := range res.Fed {
+		if e.Reward < -1 || e.Reward > 1 {
+			t.Fatalf("round %d reward %v", e.Round, e.Reward)
+		}
+	}
+	if res.AvgFedReward() <= -0.5 {
+		t.Fatalf("federated cluster policy degenerate: %v", res.AvgFedReward())
+	}
+}
+
+func TestRunMultiCoreValidation(t *testing.T) {
+	o := smallOptions()
+	o.Rounds = 0
+	if _, err := RunMultiCore(o); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+func TestMultiCoreClusterCalibration(t *testing.T) {
+	// The cluster budget must bisect the shared-clock range for a
+	// compute-heavy 4-core mix and admit f_max for a memory-heavy one —
+	// the multi-core analogue of the single-core calibration property.
+	o := DefaultOptions()
+	load := func(names ...string) *sim.MultiCoreDevice {
+		clu := sim.NewMultiCoreDevice(o.Table, o.Power, 4, newRNG(1, 999))
+		clu.PowerNoiseW, clu.IPCNoiseRel = 0, 0
+		for i, n := range names {
+			spec, err := workload.ByName(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clu.LoadCore(i, workload.NewApp(spec))
+		}
+		return clu
+	}
+	cross := func(mk func() *sim.MultiCoreDevice) int {
+		best := 0
+		for k := 0; k < o.Table.Len(); k++ {
+			clu := mk()
+			clu.SetLevel(k)
+			if clu.Step(0.5).TruePower <= MultiCoreBudgetW {
+				best = k
+			}
+		}
+		return best
+	}
+	compute := cross(func() *sim.MultiCoreDevice {
+		return load("water-ns", "water-sp", "lu", "fmm")
+	})
+	memory := cross(func() *sim.MultiCoreDevice {
+		return load("ocean", "radix", "ocean", "radix")
+	})
+	if compute < 3 || compute > 12 {
+		t.Errorf("compute mix crossover level %d, want mid-range", compute)
+	}
+	if memory != o.Table.Len()-1 {
+		t.Errorf("memory mix crossover level %d, want f_max", memory)
+	}
+}

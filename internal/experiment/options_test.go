@@ -1,0 +1,81 @@
+package experiment
+
+import "testing"
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	o := DefaultOptions()
+	if o.Rounds != 100 {
+		t.Errorf("rounds = %d, want 100 (Table I)", o.Rounds)
+	}
+	if o.StepsPerRound != 100 {
+		t.Errorf("steps per round = %d, want 100 (Table I)", o.StepsPerRound)
+	}
+	if o.IntervalS != 0.5 {
+		t.Errorf("control interval = %v, want 0.5 s (Table I)", o.IntervalS)
+	}
+	if o.Table.Len() != 15 {
+		t.Errorf("V/f levels = %d, want 15", o.Table.Len())
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	mutations := []func(*Options){
+		func(o *Options) { o.Rounds = 0 },
+		func(o *Options) { o.StepsPerRound = -1 },
+		func(o *Options) { o.IntervalS = 0 },
+		func(o *Options) { o.EvalSteps = 0 },
+		func(o *Options) { o.ExecEvalEvery = 0 },
+		func(o *Options) { o.MaxExecSteps = 0 },
+		func(o *Options) { o.Table = nil },
+		func(o *Options) { o.Core.Actions = 10 }, // mismatch with the 15-level table
+		func(o *Options) { o.Core.BatchSize = 0 },
+	}
+	for i, mutate := range mutations {
+		o := DefaultOptions()
+		mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestSubseedDeterministicAndDistinct(t *testing.T) {
+	if subseed(1, 2, 3) != subseed(1, 2, 3) {
+		t.Fatal("subseed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for root := int64(0); root < 10; root++ {
+		for a := int64(0); a < 10; a++ {
+			for b := int64(0); b < 10; b++ {
+				s := subseed(root, a, b)
+				if seen[s] {
+					t.Fatalf("subseed collision at (%d, %d, %d)", root, a, b)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+func TestSubseedOrderSensitive(t *testing.T) {
+	if subseed(1, 2, 3) == subseed(1, 3, 2) {
+		t.Fatal("subseed ignores identifier order")
+	}
+}
+
+func TestNewRNGIndependentStreams(t *testing.T) {
+	a := newRNG(1, 1)
+	b := newRNG(1, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between supposedly independent streams", same)
+	}
+}

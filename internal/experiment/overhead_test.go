@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunOverheadAccounting(t *testing.T) {
+	o := DefaultOptions()
+	res := RunOverhead(o, 500)
+	if res.ModelParams != 687 {
+		t.Errorf("model params = %d, want 687", res.ModelParams)
+	}
+	// 2748 payload + 9 header bytes: the paper's ~2.8 kB per transfer.
+	if res.TransferBytes != 2757 {
+		t.Errorf("transfer bytes = %d, want 2757", res.TransferBytes)
+	}
+	// 4000 × (5+1+1) × 4 B: the paper's ~100 kB replay storage.
+	if res.ReplayBytes != 112000 {
+		t.Errorf("replay bytes = %d, want 112000", res.ReplayBytes)
+	}
+	if res.DecisionLatency <= 0 {
+		t.Error("decision latency not measured")
+	}
+	if res.UpdateLatency <= 0 {
+		t.Error("update latency not measured")
+	}
+	if res.OverheadPct <= 0 {
+		t.Error("overhead percentage not computed")
+	}
+	// A 687-parameter inference must be far below the paper's 29 ms even
+	// on a slow host.
+	if res.DecisionLatency > 5*time.Millisecond {
+		t.Errorf("decision latency %v unreasonably high", res.DecisionLatency)
+	}
+}
+
+func TestRunOverheadDefaultsDecisionCount(t *testing.T) {
+	o := DefaultOptions()
+	res := RunOverhead(o, 0) // falls back to a sane default
+	if res.DecisionLatency <= 0 {
+		t.Fatal("zero-decision call did not fall back")
+	}
+}

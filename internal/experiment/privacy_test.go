@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"fedpower/internal/fed"
+)
+
+func TestRunPrivacyArchitectures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("privacy training skipped in -short mode")
+	}
+	o := smallOptions()
+	o.Rounds = 30
+	res, err := RunPrivacy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Local-only moves no bytes at all.
+	if res.Local.TotalBytes != 0 || res.Local.RawTraceBytes != 0 {
+		t.Errorf("local-only communicated: %+v", res.Local)
+	}
+	// Federated moves exactly 2 model transfers per device per round and
+	// exposes zero raw trace bytes.
+	wantFed := int64(o.Rounds) * 2 * 2 * int64(fed.TransferSize(687))
+	if res.Federated.TotalBytes != wantFed {
+		t.Errorf("federated bytes = %d, want %d", res.Federated.TotalBytes, wantFed)
+	}
+	if res.Federated.RawTraceBytes != 0 {
+		t.Errorf("federated exposed %d raw bytes, want 0", res.Federated.RawTraceBytes)
+	}
+	// Central exposes exactly rounds × devices × T samples × 28 B of raw
+	// traces.
+	wantRaw := int64(o.Rounds) * 2 * int64(o.StepsPerRound) * 28
+	if res.Central.RawTraceBytes != wantRaw {
+		t.Errorf("central raw bytes = %d, want %d", res.Central.RawTraceBytes, wantRaw)
+	}
+	if res.Central.TotalBytes <= res.Central.RawTraceBytes {
+		t.Error("central total must include the model downloads")
+	}
+
+	// Learning sanity: all three architectures end with a usable policy.
+	for _, a := range []ArchEval{res.Local, res.Federated, res.Central} {
+		if a.AvgReward < 0 {
+			t.Errorf("%s ended with negative average reward %v", a.Name, a.AvgReward)
+		}
+	}
+	// Collaboration (either flavour) should not lose to local-only by a
+	// material margin at the same budget.
+	if res.Federated.AvgReward < res.Local.AvgReward-0.1 {
+		t.Errorf("federated (%v) materially below local-only (%v)", res.Federated.AvgReward, res.Local.AvgReward)
+	}
+}
+
+func TestRunPrivacyValidation(t *testing.T) {
+	o := smallOptions()
+	o.Rounds = 0
+	if _, err := RunPrivacy(o); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+func TestWritePrivacyCSV(t *testing.T) {
+	res := &PrivacyResult{
+		Local:     ArchEval{Name: "local-only", AvgReward: 0.6},
+		Federated: ArchEval{Name: "federated (ours)", AvgReward: 0.7, TotalBytes: 1000},
+		Central:   ArchEval{Name: "central (raw traces)", AvgReward: 0.75, TotalBytes: 2000, RawTraceBytes: 1500},
+	}
+	var buf bytes.Buffer
+	if err := WritePrivacyCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 4 {
+		t.Fatalf("%d rows, want header + 3", len(records))
+	}
+	if records[3][3] != "1500" {
+		t.Fatalf("central raw bytes cell %q", records[3][3])
+	}
+}
+
+func TestCentralDeviceCollectRound(t *testing.T) {
+	o := smallOptions()
+	specs := EvalApps()[:2]
+	d := newCentralDevice(o, 1, specs)
+	policy := append([]float64(nil), d.dev.Ctrl.ModelParams()...)
+	samples := d.CollectRound(policy)
+	if len(samples) != o.StepsPerRound {
+		t.Fatalf("collected %d samples, want %d", len(samples), o.StepsPerRound)
+	}
+	for i, s := range samples {
+		if len(s.State) != 5 {
+			t.Fatalf("sample %d state dim %d", i, len(s.State))
+		}
+		if s.Action < 0 || s.Action >= 15 {
+			t.Fatalf("sample %d action %d", i, s.Action)
+		}
+		if s.Reward < -1 || s.Reward > 1 {
+			t.Fatalf("sample %d reward %v", i, s.Reward)
+		}
+	}
+	// The device-side controller must not have trained (no buffer growth).
+	if d.dev.Ctrl.Buffer().Len() != 0 {
+		t.Fatalf("central device trained locally: buffer %d", d.dev.Ctrl.Buffer().Len())
+	}
+	// Exploration decays across rounds.
+	tauBefore := d.dev.Ctrl.Tau()
+	d.CollectRound(policy)
+	if d.dev.Ctrl.Tau() >= tauBefore {
+		t.Fatal("exploration schedule did not advance")
+	}
+}

@@ -1,0 +1,85 @@
+package experiment
+
+// Multi-seed replication: the paper reports single training runs; this
+// harness repeats the Fig. 3 comparison across independent seeds and
+// reports the mean and spread of the federated-vs-local improvement, so
+// the headline number comes with an uncertainty estimate.
+
+import (
+	"fmt"
+
+	"fedpower/internal/stats"
+)
+
+// Replication holds per-seed outcomes of the local-vs-federated comparison.
+type Replication struct {
+	Seeds []int64
+	// FedReward and LocalReward are the per-seed scenario-averaged
+	// evaluation rewards.
+	FedReward   []float64
+	LocalReward []float64
+	// ImprovementPct is the per-seed improvement (reward-floor-shifted
+	// when the local mean is non-positive, as in Fig3Result).
+	ImprovementPct []float64
+}
+
+// Summary returns the mean and population standard deviation of the
+// improvement across seeds.
+func (r *Replication) Summary() (mean, std float64) {
+	return stats.Mean(r.ImprovementPct), stats.Std(r.ImprovementPct)
+}
+
+// AllPositive reports whether the federated policy beat the local-only
+// policies under every seed.
+func (r *Replication) AllPositive() bool {
+	for i := range r.FedReward {
+		if r.FedReward[i] <= r.LocalReward[i] {
+			return false
+		}
+	}
+	return len(r.FedReward) > 0
+}
+
+// RunReplication repeats RunFig3 once per seed. Seeds must be non-empty
+// and distinct (identical seeds would silently produce duplicated, not
+// independent, replicates).
+func RunReplication(o Options, seeds []int64) (*Replication, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: replication needs at least one seed")
+	}
+	seen := map[int64]bool{}
+	for _, s := range seeds {
+		if seen[s] {
+			return nil, fmt.Errorf("experiment: duplicate replication seed %d", s)
+		}
+		seen[s] = true
+	}
+	out := &Replication{Seeds: append([]int64(nil), seeds...)}
+	for _, seed := range seeds {
+		so := o
+		so.Seed = seed
+		res, err := RunFig3(so)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: replication seed %d: %w", seed, err)
+		}
+		var fedAgg, localAgg stats.Running
+		for _, sc := range res.Scenarios {
+			fedAgg.Add(sc.AvgFedReward())
+			localAgg.Add(sc.AvgLocalReward())
+		}
+		pct, _ := res.ImprovementPct()
+		out.FedReward = append(out.FedReward, fedAgg.Mean())
+		out.LocalReward = append(out.LocalReward, localAgg.Mean())
+		out.ImprovementPct = append(out.ImprovementPct, pct)
+	}
+	return out, nil
+}
+
+// DefaultReplicationSeeds returns n distinct seeds derived from a base.
+func DefaultReplicationSeeds(base int64, n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = base + int64(i)
+	}
+	return seeds
+}

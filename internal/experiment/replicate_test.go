@@ -1,0 +1,81 @@
+package experiment
+
+import "testing"
+
+func TestRunReplicationValidation(t *testing.T) {
+	o := smallOptions()
+	if _, err := RunReplication(o, nil); err == nil {
+		t.Error("empty seed list accepted")
+	}
+	if _, err := RunReplication(o, []int64{3, 3}); err == nil {
+		t.Error("duplicate seeds accepted")
+	}
+}
+
+func TestDefaultReplicationSeeds(t *testing.T) {
+	seeds := DefaultReplicationSeeds(10, 4)
+	if len(seeds) != 4 {
+		t.Fatalf("%d seeds", len(seeds))
+	}
+	seen := map[int64]bool{}
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatal("duplicate seed generated")
+		}
+		seen[s] = true
+	}
+}
+
+func TestReplicationSummaryAndAllPositive(t *testing.T) {
+	r := &Replication{
+		Seeds:          []int64{1, 2},
+		FedReward:      []float64{0.6, 0.7},
+		LocalReward:    []float64{0.4, 0.5},
+		ImprovementPct: []float64{50, 40},
+	}
+	mean, std := r.Summary()
+	if mean != 45 {
+		t.Fatalf("mean improvement %v, want 45", mean)
+	}
+	if std != 5 {
+		t.Fatalf("std %v, want 5", std)
+	}
+	if !r.AllPositive() {
+		t.Fatal("all-positive replication reported negative")
+	}
+	r.FedReward[1] = 0.4
+	if r.AllPositive() {
+		t.Fatal("tie reported as positive")
+	}
+	empty := &Replication{}
+	if empty.AllPositive() {
+		t.Fatal("empty replication reported positive")
+	}
+}
+
+func TestRunReplicationProducesIndependentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication training skipped in -short mode")
+	}
+	o := smallOptions()
+	o.Rounds = 8
+	rep, err := RunReplication(o, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.FedReward) != 2 || len(rep.ImprovementPct) != 2 {
+		t.Fatalf("result shape %d/%d", len(rep.FedReward), len(rep.ImprovementPct))
+	}
+	// Different seeds must give different trajectories.
+	if rep.FedReward[0] == rep.FedReward[1] {
+		t.Fatal("two seeds produced identical federated rewards")
+	}
+	// And the same seed must reproduce exactly.
+	again, err := RunReplication(o, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.FedReward[0] != rep.FedReward[0] {
+		t.Fatal("replication not deterministic per seed")
+	}
+}

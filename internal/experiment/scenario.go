@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"fmt"
+
+	"fedpower/internal/workload"
+)
+
+// Scenario assigns training applications to devices, as in Table II. Every
+// scenario is evaluated against all twelve applications.
+type Scenario struct {
+	Name    string
+	Devices [][]string // Devices[i] = application names trained on device i
+}
+
+// Validate checks that every referenced application exists.
+func (s Scenario) Validate() error {
+	if len(s.Devices) == 0 {
+		return fmt.Errorf("experiment: scenario %s has no devices", s.Name)
+	}
+	for i, apps := range s.Devices {
+		if len(apps) == 0 {
+			return fmt.Errorf("experiment: scenario %s device %d has no applications", s.Name, i)
+		}
+		if _, err := workload.ByNames(apps...); err != nil {
+			return fmt.Errorf("experiment: scenario %s device %d: %w", s.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// TableII returns the paper's three disjunct-training-set scenarios: two
+// devices, two training applications each.
+func TableII() []Scenario {
+	return []Scenario{
+		{Name: "1", Devices: [][]string{
+			{"fft", "lu"},
+			{"raytrace", "volrend"},
+		}},
+		{Name: "2", Devices: [][]string{
+			{"water-ns", "water-sp"},
+			{"ocean", "radix"},
+		}},
+		{Name: "3", Devices: [][]string{
+			{"fmm", "radiosity"},
+			{"barnes", "cholesky"},
+		}},
+	}
+}
+
+// SplitHalf returns the §IV-B final comparison scenario: the twelve
+// applications split into two halves of six, so that every evaluation
+// application has been seen during training by exactly one device.
+func SplitHalf() Scenario {
+	return Scenario{Name: "split-half", Devices: [][]string{
+		{"fft", "lu", "raytrace", "volrend", "water-ns", "water-sp"},
+		{"ocean", "radix", "fmm", "radiosity", "barnes", "cholesky"},
+	}}
+}
+
+// EvalApps returns the full evaluation application set (all twelve).
+func EvalApps() []workload.Spec { return workload.SPLASH2() }

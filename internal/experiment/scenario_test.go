@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"testing"
+
+	"fedpower/internal/workload"
+)
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	scs := TableII()
+	if len(scs) != 3 {
+		t.Fatalf("%d scenarios, want 3", len(scs))
+	}
+	want := [][][]string{
+		{{"fft", "lu"}, {"raytrace", "volrend"}},
+		{{"water-ns", "water-sp"}, {"ocean", "radix"}},
+		{{"fmm", "radiosity"}, {"barnes", "cholesky"}},
+	}
+	for i, sc := range scs {
+		if len(sc.Devices) != 2 {
+			t.Fatalf("scenario %s has %d devices, want 2", sc.Name, len(sc.Devices))
+		}
+		for d := range sc.Devices {
+			for a := range sc.Devices[d] {
+				if sc.Devices[d][a] != want[i][d][a] {
+					t.Errorf("scenario %d device %d app %d = %s, want %s",
+						i, d, a, sc.Devices[d][a], want[i][d][a])
+				}
+			}
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scenario %s invalid: %v", sc.Name, err)
+		}
+	}
+}
+
+func TestTableIIScenariosAreDisjoint(t *testing.T) {
+	// Within each scenario, no app is trained on both devices ("disjunct
+	// training set").
+	for _, sc := range TableII() {
+		seen := map[string]bool{}
+		for _, apps := range sc.Devices {
+			for _, a := range apps {
+				if seen[a] {
+					t.Errorf("scenario %s trains %s on both devices", sc.Name, a)
+				}
+				seen[a] = true
+			}
+		}
+	}
+}
+
+func TestSplitHalfCoversAllApps(t *testing.T) {
+	sc := SplitHalf()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	total := 0
+	for _, apps := range sc.Devices {
+		if len(apps) != 6 {
+			t.Errorf("split-half device trains %d apps, want 6", len(apps))
+		}
+		for _, a := range apps {
+			if seen[a] {
+				t.Errorf("app %s assigned twice", a)
+			}
+			seen[a] = true
+			total++
+		}
+	}
+	if total != 12 {
+		t.Fatalf("split-half covers %d apps, want 12", total)
+	}
+	for _, name := range workload.Names() {
+		if !seen[name] {
+			t.Errorf("app %s missing from the split", name)
+		}
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	bad := []Scenario{
+		{Name: "empty"},
+		{Name: "empty-device", Devices: [][]string{{}}},
+		{Name: "unknown-app", Devices: [][]string{{"doom"}}},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("scenario %s validated", sc.Name)
+		}
+	}
+}
+
+func TestEvalAppsIsFullSuite(t *testing.T) {
+	if got := len(EvalApps()); got != 12 {
+		t.Fatalf("evaluation set has %d apps, want 12", got)
+	}
+}

@@ -1,0 +1,108 @@
+package experiment
+
+import "testing"
+
+func TestSweepPointFactories(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []SweepPoint
+		n    int
+	}{
+		{"lr defaults", LearningRateSweep(), 5},
+		{"lr explicit", LearningRateSweep(0.01), 1},
+		{"tau defaults", TauDecaySweep(), 4},
+		{"batch defaults", BatchSizeSweep(), 4},
+		{"width defaults", HiddenWidthSweep(), 5},
+	}
+	o := DefaultOptions()
+	for _, c := range cases {
+		if len(c.pts) != c.n {
+			t.Errorf("%s: %d points, want %d", c.name, len(c.pts), c.n)
+		}
+		for _, pt := range c.pts {
+			po := o
+			pt.Mutate(&po)
+			if err := po.Validate(); err != nil {
+				t.Errorf("%s point %s produces invalid options: %v", c.name, pt.Label, err)
+			}
+			if pt.Label == "" {
+				t.Errorf("%s: empty label", c.name)
+			}
+		}
+	}
+}
+
+func TestSweepMutationsAreIndependent(t *testing.T) {
+	// Each point must mutate its own copy, not share state with others.
+	o := DefaultOptions()
+	pts := LearningRateSweep(0.001, 0.01)
+	a, b := o, o
+	pts[0].Mutate(&a)
+	pts[1].Mutate(&b)
+	if a.Core.LearningRate != 0.001 || b.Core.LearningRate != 0.01 {
+		t.Fatalf("mutations leaked: %v / %v", a.Core.LearningRate, b.Core.LearningRate)
+	}
+	if o.Core.LearningRate != 0.005 {
+		t.Fatal("base options mutated")
+	}
+}
+
+func TestSweepByName(t *testing.T) {
+	for _, dim := range []string{"lr", "tau", "batch", "width"} {
+		pts, err := SweepByName(dim)
+		if err != nil || len(pts) == 0 {
+			t.Errorf("SweepByName(%q): %v, %d points", dim, err, len(pts))
+		}
+	}
+	if _, err := SweepByName("nope"); err == nil {
+		t.Error("unknown dimension accepted")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep training skipped in -short mode")
+	}
+	o := smallOptions()
+	o.Rounds = 10
+	res, err := RunSweep(o, "width", HiddenWidthSweep(16, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dimension != "width" {
+		t.Fatalf("dimension %q", res.Dimension)
+	}
+	if len(res.Labels) != 2 || len(res.Reward) != 2 {
+		t.Fatalf("result shape %d/%d", len(res.Labels), len(res.Reward))
+	}
+	for i, r := range res.Reward {
+		if r < -1 || r > 1 {
+			t.Fatalf("point %s reward %v", res.Labels[i], r)
+		}
+	}
+	if best := res.Best(); best != "width=16" && best != "width=32" {
+		t.Fatalf("Best = %q", best)
+	}
+}
+
+func TestRunSweepValidation(t *testing.T) {
+	o := smallOptions()
+	if _, err := RunSweep(o, "empty", nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	bad := []SweepPoint{{Label: "bad", Mutate: func(o *Options) { o.Core.BatchSize = 0 }}}
+	if _, err := RunSweep(o, "bad", bad); err == nil {
+		t.Error("invalid point accepted")
+	}
+	o.Rounds = 0
+	if _, err := RunSweep(o, "lr", LearningRateSweep(0.01)); err == nil {
+		t.Error("invalid base options accepted")
+	}
+}
+
+func TestSweepResultBestEmpty(t *testing.T) {
+	r := &SweepResult{}
+	if r.Best() != "" {
+		t.Fatal("empty result Best not empty")
+	}
+}

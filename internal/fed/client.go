@@ -1,0 +1,72 @@
+package fed
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+)
+
+// Conn is a client-side connection to the aggregation server. A device
+// connects once and then participates in every round until the server sends
+// the final model.
+type Conn struct {
+	conn      net.Conn
+	r         *bufio.Reader
+	w         *bufio.Writer
+	bytesSent int64
+	bytesRecv int64
+}
+
+// Dial connects to the aggregation server at addr.
+func Dial(addr string) (*Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fed: dial %s: %w", addr, err)
+	}
+	return &Conn{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close tears down the connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// BytesSent returns the total bytes this client has written to the server.
+func (c *Conn) BytesSent() int64 { return c.bytesSent }
+
+// BytesReceived returns the total bytes this client has read from the
+// server.
+func (c *Conn) BytesReceived() int64 { return c.bytesRecv }
+
+// Participate runs the client side of the protocol to completion: for every
+// round it receives the global model, invokes the local trainer, and sends
+// the result back. It returns the final global model from the server's done
+// message. The trainer receives a private copy of the global parameters and
+// its return value is not retained.
+func (c *Conn) Participate(client Client) ([]float64, error) {
+	for {
+		m, err := readMessage(c.r)
+		if err != nil {
+			return nil, err
+		}
+		c.bytesRecv += int64(TransferSize(len(m.params)))
+		switch m.kind {
+		case msgDone:
+			return m.params, nil
+		case msgModel:
+			updated, err := client.TrainRound(m.round, m.params)
+			if err != nil {
+				return nil, fmt.Errorf("fed: local training round %d: %w", m.round, err)
+			}
+			n, err := writeMessage(c.w, message{kind: msgUpdate, round: m.round, params: updated})
+			c.bytesSent += int64(n)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("fed: unexpected message type %d from server", m.kind)
+		}
+	}
+}

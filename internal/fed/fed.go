@@ -1,0 +1,178 @@
+// Package fed implements the paper's federated policy optimisation
+// (Algorithm 2, federated averaging after McMahan et al.): a central
+// aggregation server and N homogeneous clients alternate, over R rounds,
+// between local policy optimisation on each device and synchronous,
+// unweighted parameter averaging on the server.
+//
+// Two transports are provided. The in-process orchestrator (Run) executes
+// clients deterministically and is what the experiment harness uses. The TCP
+// transport (Server/Dial) runs the identical protocol across real processes
+// and sockets — the deployment shape of the paper, one process per edge
+// device — exchanging float32 parameter frames whose size matches the
+// paper's reported 2.8 kB per transfer.
+package fed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedpower/internal/nn"
+)
+
+// Client is one federated participant: a device hosting a local power
+// controller. TrainRound receives the current global model, performs the
+// round's local optimisation (T environment steps with periodic updates, in
+// the paper's instantiation), and returns the locally optimised parameters.
+// The returned slice is copied by the orchestrator, so implementations may
+// return their live parameter vector.
+type Client interface {
+	TrainRound(round int, global []float64) ([]float64, error)
+}
+
+// ClientFunc adapts a plain function to the Client interface.
+type ClientFunc func(round int, global []float64) ([]float64, error)
+
+// TrainRound calls f.
+func (f ClientFunc) TrainRound(round int, global []float64) ([]float64, error) {
+	return f(round, global)
+}
+
+// RoundHook is invoked after every aggregation with the 1-based round number
+// and the new global model; the experiment harness uses it to run the
+// per-round greedy evaluation of §IV-A. The slice must not be retained.
+type RoundHook func(round int, global []float64)
+
+// Run executes R rounds of federated averaging over the given clients,
+// starting from (and finally overwriting) the global parameter vector:
+//
+//	for r = 1..R:
+//	    broadcast θ_r to all clients
+//	    each client locally optimises and returns θ_r^n
+//	    θ_{r+1} = 1/N · Σ_n θ_r^n        (synchronous, unweighted)
+//
+// Clients are executed sequentially in slice order, which makes experiment
+// runs bit-for-bit reproducible; the aggregation result is identical to a
+// parallel execution because FedAvg only consumes the end-of-round
+// parameters. hook may be nil.
+func Run(global []float64, clients []Client, rounds int, hook RoundHook) error {
+	if len(clients) == 0 {
+		return fmt.Errorf("fed: no clients")
+	}
+	if rounds <= 0 {
+		return fmt.Errorf("fed: round count %d must be positive", rounds)
+	}
+	return run(global, clients, nil, rounds, hook)
+}
+
+// RunWeighted is Run with per-client aggregation weights — the original
+// FedAvg formulation, where each client counts proportionally to its local
+// sample volume. Weights must be non-negative with a positive sum. The
+// paper's protocol is the unweighted special case ("it is unweighted,
+// giving the same importance to each client", §III-B).
+func RunWeighted(global []float64, clients []Client, weights []float64, rounds int, hook RoundHook) error {
+	if len(clients) == 0 {
+		return fmt.Errorf("fed: no clients")
+	}
+	if rounds <= 0 {
+		return fmt.Errorf("fed: round count %d must be positive", rounds)
+	}
+	if len(weights) != len(clients) {
+		return fmt.Errorf("fed: %d weights for %d clients", len(weights), len(clients))
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("fed: negative weight %v for client %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return fmt.Errorf("fed: aggregation weights sum to zero")
+	}
+	return run(global, clients, weights, rounds, hook)
+}
+
+// RunSampled executes federated averaging with partial participation: each
+// round, every client is included independently with probability fraction
+// (at least one is always included — an empty round would stall the
+// protocol). This is the client-sampling dimension of the original FedAvg
+// (McMahan et al.'s parameter C); the paper's §III-B setting — "each client
+// participates in all R rounds" — is fraction = 1. Sampling draws from rng
+// so runs are reproducible.
+func RunSampled(global []float64, clients []Client, fraction float64, rounds int, rng *rand.Rand, hook RoundHook) error {
+	if len(clients) == 0 {
+		return fmt.Errorf("fed: no clients")
+	}
+	if rounds <= 0 {
+		return fmt.Errorf("fed: round count %d must be positive", rounds)
+	}
+	if fraction <= 0 || fraction > 1 {
+		return fmt.Errorf("fed: participation fraction %v out of (0,1]", fraction)
+	}
+	if rng == nil {
+		return fmt.Errorf("fed: RunSampled requires a random source")
+	}
+
+	locals := make([][]float64, 0, len(clients))
+	broadcast := make([]float64, len(global))
+	for r := 1; r <= rounds; r++ {
+		copy(broadcast, global)
+		locals = locals[:0]
+		participating := make([]int, 0, len(clients))
+		for i := range clients {
+			if rng.Float64() < fraction {
+				participating = append(participating, i)
+			}
+		}
+		if len(participating) == 0 {
+			participating = append(participating, rng.Intn(len(clients)))
+		}
+		for _, i := range participating {
+			updated, err := clients[i].TrainRound(r, broadcast)
+			if err != nil {
+				return fmt.Errorf("fed: round %d client %d: %w", r, i, err)
+			}
+			if len(updated) != len(global) {
+				return fmt.Errorf("fed: round %d client %d returned %d params, want %d", r, i, len(updated), len(global))
+			}
+			locals = append(locals, append([]float64(nil), updated...))
+		}
+		nn.AverageParams(global, locals...)
+		if hook != nil {
+			hook(r, global)
+		}
+	}
+	return nil
+}
+
+// run drives the round loop; a nil weights slice selects the unweighted
+// average.
+func run(global []float64, clients []Client, weights []float64, rounds int, hook RoundHook) error {
+	locals := make([][]float64, len(clients))
+	for i := range locals {
+		locals[i] = make([]float64, len(global))
+	}
+	broadcast := make([]float64, len(global))
+	for r := 1; r <= rounds; r++ {
+		copy(broadcast, global)
+		for i, c := range clients {
+			updated, err := c.TrainRound(r, broadcast)
+			if err != nil {
+				return fmt.Errorf("fed: round %d client %d: %w", r, i, err)
+			}
+			if len(updated) != len(global) {
+				return fmt.Errorf("fed: round %d client %d returned %d params, want %d", r, i, len(updated), len(global))
+			}
+			copy(locals[i], updated)
+		}
+		if weights == nil {
+			nn.AverageParams(global, locals...)
+		} else {
+			nn.WeightedAverageParams(global, locals, weights)
+		}
+		if hook != nil {
+			hook(r, global)
+		}
+	}
+	return nil
+}

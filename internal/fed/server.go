@@ -1,0 +1,192 @@
+package fed
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fedpower/internal/nn"
+)
+
+// Server is the central aggregation server of Fig. 1 over TCP. It waits for
+// a fixed number of clients, then drives R rounds of the synchronous FedAvg
+// protocol: broadcast the global model, collect one locally optimised model
+// from every client, average. Aggregation is unweighted — every client
+// carries the same weight, as in §III-B.
+type Server struct {
+	ln         net.Listener
+	numClients int
+	rounds     int
+
+	// RoundTimeout bounds how long the server waits for any single
+	// client's update within a round; zero means wait forever. Because
+	// aggregation is synchronous, one hung device would otherwise stall the
+	// whole federation indefinitely.
+	RoundTimeout time.Duration
+
+	mu        sync.Mutex
+	bytesSent int64
+	bytesRecv int64
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0") for exactly numClients
+// clients and will run the given number of rounds.
+func NewServer(addr string, numClients, rounds int) (*Server, error) {
+	if numClients <= 0 {
+		return nil, fmt.Errorf("fed: client count %d must be positive", numClients)
+	}
+	if rounds <= 0 {
+		return nil, fmt.Errorf("fed: round count %d must be positive", rounds)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fed: listen %s: %w", addr, err)
+	}
+	return &Server{ln: ln, numClients: numClients, rounds: rounds}, nil
+}
+
+// Addr returns the server's listen address, useful when addr was ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops listening. Safe to call after Serve returns.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// BytesSent returns the total bytes written to clients so far.
+func (s *Server) BytesSent() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesSent
+}
+
+// BytesReceived returns the total payload-bearing bytes read from clients.
+func (s *Server) BytesReceived() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesRecv
+}
+
+type serverConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Serve accepts the configured number of clients, runs all rounds starting
+// from the initial global model, and returns the final global model. The
+// hook, if non-nil, runs after every aggregation. Serve blocks until
+// training completes or a client fails; on failure the protocol aborts,
+// since synchronous FedAvg cannot proceed without all participants.
+func (s *Server) Serve(initial []float64, hook RoundHook) ([]float64, error) {
+	conns := make([]*serverConn, 0, s.numClients)
+	defer func() {
+		for _, c := range conns {
+			c.conn.Close()
+		}
+	}()
+	for len(conns) < s.numClients {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("fed: accept: %w", err)
+		}
+		conns = append(conns, &serverConn{
+			conn: conn,
+			r:    bufio.NewReader(conn),
+			w:    bufio.NewWriter(conn),
+		})
+	}
+
+	global := append([]float64(nil), initial...)
+	locals := make([][]float64, len(conns))
+
+	for round := 1; round <= s.rounds; round++ {
+		// Broadcast θ_r. Writes are concurrent so a slow client does not
+		// serialise the round start.
+		if err := s.broadcast(conns, message{kind: msgModel, round: round, params: global}); err != nil {
+			return nil, err
+		}
+		// Collect θ_r^n from every client (synchronous aggregation: the
+		// server waits for all devices, §III-B).
+		var wg sync.WaitGroup
+		errs := make([]error, len(conns))
+		for i, c := range conns {
+			wg.Add(1)
+			go func(i int, c *serverConn) {
+				defer wg.Done()
+				if s.RoundTimeout > 0 {
+					if err := c.conn.SetReadDeadline(time.Now().Add(s.RoundTimeout)); err != nil {
+						errs[i] = fmt.Errorf("fed: client %d set deadline: %w", i, err)
+						return
+					}
+				}
+				m, err := readMessage(c.r)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if m.kind != msgUpdate {
+					errs[i] = fmt.Errorf("fed: client %d sent message type %d, want update", i, m.kind)
+					return
+				}
+				if m.round != round {
+					errs[i] = fmt.Errorf("fed: client %d answered round %d during round %d", i, m.round, round)
+					return
+				}
+				if len(m.params) != len(global) {
+					errs[i] = fmt.Errorf("fed: client %d sent %d params, want %d", i, len(m.params), len(global))
+					return
+				}
+				locals[i] = m.params
+			}(i, c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		s.mu.Lock()
+		for range conns {
+			s.bytesRecv += int64(TransferSize(len(global)))
+		}
+		s.mu.Unlock()
+
+		nn.AverageParams(global, locals...)
+		if hook != nil {
+			hook(round, global)
+		}
+	}
+
+	if err := s.broadcast(conns, message{kind: msgDone, round: s.rounds, params: global}); err != nil {
+		return nil, err
+	}
+	return global, nil
+}
+
+func (s *Server) broadcast(conns []*serverConn, m message) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(conns))
+	sent := make([]int, len(conns))
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c *serverConn) {
+			defer wg.Done()
+			n, err := writeMessage(c.w, m)
+			sent[i] = n
+			errs[i] = err
+		}(i, c)
+	}
+	wg.Wait()
+	s.mu.Lock()
+	for _, n := range sent {
+		s.bytesSent += int64(n)
+	}
+	s.mu.Unlock()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("fed: broadcast to client %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package fed
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer creates a loopback server on an ephemeral port.
+func startServer(t *testing.T, clients, rounds int) *Server {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", clients, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", 0, 5); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := NewServer("127.0.0.1:0", 2, 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := NewServer("500.0.0.1:xx", 2, 5); err == nil {
+		t.Error("bogus address accepted")
+	}
+}
+
+// TestTCPFederationEndToEnd runs the full protocol over loopback: two
+// clients that add +2 and +4 per round must drive the global model up by +3
+// per round, exactly as the in-process orchestrator does.
+func TestTCPFederationEndToEnd(t *testing.T) {
+	const rounds = 5
+	srv := startServer(t, 2, rounds)
+
+	runClient := func(delta float64, result *[]float64, errOut *error) {
+		conn, err := Dial(srv.Addr())
+		if err != nil {
+			*errOut = err
+			return
+		}
+		defer conn.Close()
+		final, err := conn.Participate(ClientFunc(func(round int, global []float64) ([]float64, error) {
+			out := make([]float64, len(global))
+			for i, g := range global {
+				out[i] = g + delta
+			}
+			return out, nil
+		}))
+		*result, *errOut = final, err
+	}
+
+	var wg sync.WaitGroup
+	var finalA, finalB []float64
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); runClient(2, &finalA, &errA) }()
+	go func() { defer wg.Done(); runClient(4, &finalB, &errB) }()
+
+	global, err := srv.Serve([]float64{0, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("client errors: %v, %v", errA, errB)
+	}
+
+	want := float64(3 * rounds)
+	for i, g := range global {
+		if g != want {
+			t.Errorf("server global[%d] = %v, want %v", i, g, want)
+		}
+	}
+	// Both clients receive the identical final model.
+	for i := range global {
+		if finalA[i] != global[i] || finalB[i] != global[i] {
+			t.Errorf("final model mismatch at %d: server %v, A %v, B %v", i, global[i], finalA[i], finalB[i])
+		}
+	}
+}
+
+func TestTCPServeHookAndByteAccounting(t *testing.T) {
+	const rounds = 3
+	const params = 10
+	srv := startServer(t, 1, rounds)
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := Dial(srv.Addr())
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		_, err = conn.Participate(ClientFunc(func(round int, global []float64) ([]float64, error) {
+			return global, nil
+		}))
+		// The client's own accounting should cover every round plus the
+		// final done message.
+		wantRecv := int64((rounds + 1) * TransferSize(params))
+		if err == nil && conn.BytesReceived() != wantRecv {
+			t.Errorf("client received %d bytes, want %d", conn.BytesReceived(), wantRecv)
+		}
+		if err == nil && conn.BytesSent() != int64(rounds*TransferSize(params)) {
+			t.Errorf("client sent %d bytes, want %d", conn.BytesSent(), rounds*TransferSize(params))
+		}
+		done <- err
+	}()
+
+	hookRounds := 0
+	if _, err := srv.Serve(make([]float64, params), func(round int, g []float64) { hookRounds++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if hookRounds != rounds {
+		t.Errorf("hook ran %d times, want %d", hookRounds, rounds)
+	}
+	// Server accounting: (rounds+1 broadcasts) sent, rounds updates
+	// received, one client.
+	if got, want := srv.BytesSent(), int64((rounds+1)*TransferSize(params)); got != want {
+		t.Errorf("server sent %d bytes, want %d", got, want)
+	}
+	if got, want := srv.BytesReceived(), int64(rounds*TransferSize(params)); got != want {
+		t.Errorf("server received %d bytes, want %d", got, want)
+	}
+}
+
+func TestTCPClientFailureAbortsServer(t *testing.T) {
+	srv := startServer(t, 1, 10)
+	go func() {
+		conn, err := Dial(srv.Addr())
+		if err != nil {
+			return
+		}
+		// Read the first model, then slam the connection shut mid-protocol.
+		readMessage(conn.r)
+		conn.Close()
+	}()
+	if _, err := srv.Serve([]float64{1, 2}, nil); err == nil {
+		t.Fatal("server completed despite a client vanishing")
+	}
+}
+
+func TestTCPWrongRoundRejected(t *testing.T) {
+	srv := startServer(t, 1, 5)
+	go func() {
+		conn, err := Dial(srv.Addr())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		m, err := readMessage(conn.r)
+		if err != nil {
+			return
+		}
+		// Answer with a stale round number.
+		writeMessage(conn.w, message{kind: msgUpdate, round: m.round + 7, params: m.params})
+	}()
+	if _, err := srv.Serve([]float64{1}, nil); err == nil || !strings.Contains(err.Error(), "round") {
+		t.Fatalf("stale round accepted: %v", err)
+	}
+}
+
+func TestTCPWrongParamCountRejected(t *testing.T) {
+	srv := startServer(t, 1, 5)
+	go func() {
+		conn, err := Dial(srv.Addr())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		m, err := readMessage(conn.r)
+		if err != nil {
+			return
+		}
+		writeMessage(conn.w, message{kind: msgUpdate, round: m.round, params: make([]float64, len(m.params)+1)})
+	}()
+	if _, err := srv.Serve([]float64{1, 2}, nil); err == nil {
+		t.Fatal("wrong parameter count accepted")
+	}
+}
+
+func TestTCPRoundTimeoutOnHungClient(t *testing.T) {
+	srv := startServer(t, 1, 5)
+	srv.RoundTimeout = 100 * time.Millisecond
+	connected := make(chan struct{})
+	go func() {
+		conn, err := Dial(srv.Addr())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		close(connected)
+		// Read the first model, then hang without ever answering.
+		readMessage(conn.r)
+		time.Sleep(5 * time.Second)
+	}()
+	start := time.Now()
+	_, err := srv.Serve([]float64{1}, nil)
+	if err == nil {
+		t.Fatal("server completed despite a hung client")
+	}
+	<-connected
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("server took %v to give up on a hung client, want ~RoundTimeout", elapsed)
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("Dial to a closed port succeeded")
+	}
+}

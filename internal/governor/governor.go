@@ -1,0 +1,155 @@
+// Package governor implements classical, non-learning DVFS policies: the
+// OS frequency governors the paper's introduction argues against ("the
+// frequency controllers implemented in modern operating systems mostly
+// ignore these application-specific characteristics"), plus a reactive
+// power-capping controller in the style of firmware power limiters.
+//
+// None of these policies learn or predict — they either ignore the power
+// constraint entirely (performance, powersave, userspace) or react to it
+// with feedback after a violation has already occurred (PowerCap). They
+// serve as grounding comparators for the learned policies: the RL
+// controller's value lies in *proactively* choosing the budget-respecting
+// frequency from observed workload characteristics, and the gap to these
+// governors quantifies exactly that.
+package governor
+
+import (
+	"fmt"
+
+	"fedpower/internal/sim"
+)
+
+// Governor is a frequency-selection policy over device observations — the
+// same contract the experiment harness uses for learned policies.
+type Governor interface {
+	// Name identifies the governor in reports.
+	Name() string
+	// Action returns the V/f level to run next, given the last interval's
+	// observation.
+	Action(obs sim.Observation) int
+	// Reset clears any internal controller state between episodes.
+	Reset()
+}
+
+// Performance always runs at the highest V/f level — Linux's
+// "performance" governor. It maximises throughput and ignores the power
+// budget entirely.
+type Performance struct {
+	Levels int
+}
+
+// NewPerformance returns a performance governor for a table with k levels.
+func NewPerformance(k int) *Performance { return &Performance{Levels: k} }
+
+// Name implements Governor.
+func (g *Performance) Name() string { return "performance" }
+
+// Action implements Governor.
+func (g *Performance) Action(sim.Observation) int { return g.Levels - 1 }
+
+// Reset implements Governor.
+func (g *Performance) Reset() {}
+
+// Powersave always runs at the lowest V/f level — Linux's "powersave"
+// governor. It can never violate the budget and never performs.
+type Powersave struct{}
+
+// NewPowersave returns a powersave governor.
+func NewPowersave() *Powersave { return &Powersave{} }
+
+// Name implements Governor.
+func (g *Powersave) Name() string { return "powersave" }
+
+// Action implements Governor.
+func (g *Powersave) Action(sim.Observation) int { return 0 }
+
+// Reset implements Governor.
+func (g *Powersave) Reset() {}
+
+// Userspace pins a fixed, caller-chosen V/f level — Linux's "userspace"
+// governor with a static setting.
+type Userspace struct {
+	Level int
+}
+
+// NewUserspace returns a userspace governor pinned to the given level.
+func NewUserspace(level int) *Userspace { return &Userspace{Level: level} }
+
+// Name implements Governor.
+func (g *Userspace) Name() string { return fmt.Sprintf("userspace(%d)", g.Level) }
+
+// Action implements Governor.
+func (g *Userspace) Action(sim.Observation) int { return g.Level }
+
+// Reset implements Governor.
+func (g *Userspace) Reset() {}
+
+// PowerCap is a reactive power-capping controller in the style of firmware
+// power limiters (e.g. RAPL): step the frequency down whenever measured
+// power exceeds the budget, step it back up when power falls below the
+// budget minus a headroom, hold otherwise. The headroom provides
+// hysteresis so the controller does not oscillate on sensor noise.
+//
+// PowerCap respects the budget (after the fact — a violation must be
+// observed before the controller reacts) but cannot anticipate workload
+// phases and pays one control interval of violation at every phase change
+// towards higher power.
+type PowerCap struct {
+	Levels    int
+	BudgetW   float64
+	HeadroomW float64
+
+	level   int
+	started bool
+}
+
+// NewPowerCap returns a power-capping governor for a table with k levels
+// under the given budget. A headroom of one to two k_offset is a sensible
+// default; it must be positive.
+func NewPowerCap(k int, budgetW, headroomW float64) *PowerCap {
+	if k < 2 {
+		panic(fmt.Sprintf("governor: power cap needs at least 2 levels, got %d", k))
+	}
+	if budgetW <= 0 || headroomW <= 0 {
+		panic(fmt.Sprintf("governor: invalid budget %v W / headroom %v W", budgetW, headroomW))
+	}
+	return &PowerCap{Levels: k, BudgetW: budgetW, HeadroomW: headroomW}
+}
+
+// Name implements Governor.
+func (g *PowerCap) Name() string { return "powercap" }
+
+// Action implements Governor.
+func (g *PowerCap) Action(obs sim.Observation) int {
+	if !g.started {
+		// Start from the observed level so the controller takes over
+		// seamlessly from whatever ran before.
+		g.level = obs.Level
+		g.started = true
+	}
+	switch {
+	case obs.PowerW > g.BudgetW && g.level > 0:
+		g.level--
+	case obs.PowerW < g.BudgetW-g.HeadroomW && g.level < g.Levels-1:
+		g.level++
+	}
+	return g.level
+}
+
+// Reset implements Governor.
+func (g *PowerCap) Reset() {
+	g.level = 0
+	g.started = false
+}
+
+// Standard returns the classical comparator set for a table with k levels
+// under the given power budget: performance, powersave, a mid-range
+// userspace pin, and the reactive power capper.
+func Standard(k int, budgetW float64) []Governor {
+	return []Governor{
+		NewPerformance(k),
+		NewPowersave(),
+		NewUserspace(k / 2),
+		NewPowerCap(k, budgetW, 0.1),
+	}
+}

@@ -1,0 +1,180 @@
+package governor
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedpower/internal/sim"
+	"fedpower/internal/workload"
+)
+
+func obsAt(level int, powerW float64) sim.Observation {
+	return sim.Observation{Level: level, PowerW: powerW}
+}
+
+func TestPerformanceAlwaysMax(t *testing.T) {
+	g := NewPerformance(15)
+	for _, obs := range []sim.Observation{obsAt(0, 0.1), obsAt(14, 1.2)} {
+		if got := g.Action(obs); got != 14 {
+			t.Fatalf("performance picked %d, want 14", got)
+		}
+	}
+	if g.Name() != "performance" {
+		t.Errorf("name %q", g.Name())
+	}
+}
+
+func TestPowersaveAlwaysMin(t *testing.T) {
+	g := NewPowersave()
+	if got := g.Action(obsAt(9, 0.2)); got != 0 {
+		t.Fatalf("powersave picked %d, want 0", got)
+	}
+}
+
+func TestUserspacePins(t *testing.T) {
+	g := NewUserspace(6)
+	if got := g.Action(obsAt(0, 0.9)); got != 6 {
+		t.Fatalf("userspace picked %d, want 6", got)
+	}
+	if g.Name() != "userspace(6)" {
+		t.Errorf("name %q", g.Name())
+	}
+}
+
+func TestPowerCapStepsDownOnViolation(t *testing.T) {
+	g := NewPowerCap(15, 0.6, 0.1)
+	// Seeded from the observed level.
+	if got := g.Action(obsAt(10, 0.7)); got != 9 {
+		t.Fatalf("violation step: %d, want 9", got)
+	}
+	if got := g.Action(obsAt(9, 0.65)); got != 8 {
+		t.Fatalf("second violation step: %d, want 8", got)
+	}
+}
+
+func TestPowerCapStepsUpWithHeadroom(t *testing.T) {
+	g := NewPowerCap(15, 0.6, 0.1)
+	g.Action(obsAt(5, 0.55)) // seed: inside hysteresis band, hold at 5
+	if got := g.Action(obsAt(5, 0.4)); got != 6 {
+		t.Fatalf("headroom step: %d, want 6", got)
+	}
+}
+
+func TestPowerCapHysteresisHolds(t *testing.T) {
+	g := NewPowerCap(15, 0.6, 0.1)
+	g.Action(obsAt(7, 0.55))
+	// Power inside (budget-headroom, budget]: hold.
+	if got := g.Action(obsAt(7, 0.58)); got != 7 {
+		t.Fatalf("hysteresis hold: %d, want 7", got)
+	}
+}
+
+func TestPowerCapClampsAtEdges(t *testing.T) {
+	g := NewPowerCap(15, 0.6, 0.1)
+	g.Action(obsAt(0, 0.9))
+	if got := g.Action(obsAt(0, 0.9)); got != 0 {
+		t.Fatalf("bottom clamp: %d, want 0", got)
+	}
+	g2 := NewPowerCap(15, 0.6, 0.1)
+	g2.Action(obsAt(14, 0.1))
+	if got := g2.Action(obsAt(14, 0.1)); got != 14 {
+		t.Fatalf("top clamp: %d, want 14", got)
+	}
+}
+
+func TestPowerCapReset(t *testing.T) {
+	g := NewPowerCap(15, 0.6, 0.1)
+	g.Action(obsAt(10, 0.7))
+	g.Reset()
+	// After reset, the controller re-seeds from the next observation.
+	if got := g.Action(obsAt(3, 0.2)); got != 4 {
+		t.Fatalf("after reset: %d, want 4 (seeded at 3, headroom step up)", got)
+	}
+}
+
+func TestPowerCapValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewPowerCap(1, 0.6, 0.1) },
+		func() { NewPowerCap(15, 0, 0.1) },
+		func() { NewPowerCap(15, 0.6, 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStandardSet(t *testing.T) {
+	govs := Standard(15, 0.6)
+	if len(govs) != 4 {
+		t.Fatalf("standard set has %d governors, want 4", len(govs))
+	}
+	names := map[string]bool{}
+	for _, g := range govs {
+		names[g.Name()] = true
+	}
+	for _, want := range []string{"performance", "powersave", "userspace(7)", "powercap"} {
+		if !names[want] {
+			t.Errorf("standard set missing %s", want)
+		}
+	}
+}
+
+// TestPowerCapConvergesOnDevice drives the capper against the real device
+// model: on a compute-bound application it must settle near the analytic
+// optimal level and keep average power at or below the budget.
+func TestPowerCapConvergesOnDevice(t *testing.T) {
+	table := sim.JetsonNanoTable()
+	dev := sim.NewDevice(table, sim.DefaultPowerModel(), rand.New(rand.NewSource(1)))
+	spec, err := workload.ByName("water-ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Load(workload.NewApp(spec))
+	dev.SetLevel(7)
+	obs := dev.Step(0.5)
+
+	g := NewPowerCap(table.Len(), 0.6, 0.1)
+	for i := 0; i < 60 && !dev.Done(); i++ {
+		dev.SetLevel(g.Action(obs))
+		obs = dev.Step(0.5)
+	}
+	opt := dev.OptimalLevel(dev.Workload().(*workload.App).Demand(), 0.6)
+	if obs.Level < opt-2 || obs.Level > opt+1 {
+		t.Errorf("capper settled at level %d, analytic optimum %d", obs.Level, opt)
+	}
+	if p := dev.Stats().AvgPowerW(); p > 0.6*1.05 {
+		t.Errorf("average power %v W exceeds the budget", p)
+	}
+}
+
+// TestPerformanceViolatesOnComputeBound documents the failure mode the
+// paper's introduction describes: a workload-oblivious governor pegged at
+// f_max breaks the power budget on compute-bound code.
+func TestPerformanceViolatesOnComputeBound(t *testing.T) {
+	table := sim.JetsonNanoTable()
+	dev := sim.NewDevice(table, sim.DefaultPowerModel(), rand.New(rand.NewSource(2)))
+	spec, err := workload.ByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Load(workload.NewApp(spec))
+	g := NewPerformance(table.Len())
+	dev.SetLevel(g.Action(sim.Observation{}))
+	violations := 0
+	for i := 0; i < 20; i++ {
+		obs := dev.Step(0.5)
+		if obs.PowerW > 0.6 {
+			violations++
+		}
+	}
+	if violations < 18 {
+		t.Fatalf("performance governor violated only %d/20 intervals on lu", violations)
+	}
+}

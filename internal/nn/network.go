@@ -1,0 +1,298 @@
+// Package nn implements the small feed-forward neural network machinery
+// required by the paper's DVFS policy: dense layers with ReLU hidden
+// activations and a linear output, He weight initialisation, manual
+// backpropagation, Huber and squared losses, SGD and Adam optimizers, and a
+// compact float32 wire format whose size matches the paper's reported
+// 2.8 kB per federated transfer.
+//
+// The package is deliberately minimal — the paper's policy network is a
+// single hidden layer of 32 neurons over 5 input features and 15 outputs —
+// but it is a complete, generic MLP implementation: any number of layers and
+// widths are supported, parameters live in one flat vector so that federated
+// averaging and serialisation are trivial, and all randomness comes from a
+// caller-supplied source for reproducibility.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Network is a fully connected multi-layer perceptron with ReLU activations
+// on hidden layers and an identity (linear) output layer. All weights and
+// biases live in a single flat parameter vector, ordered layer by layer as
+// [W0, b0, W1, b1, ...] with each W stored row-major ([out][in]).
+//
+// A Network is not safe for concurrent use: Forward caches intermediate
+// activations for a subsequent Backward call.
+type Network struct {
+	sizes  []int     // layer widths, including input and output
+	params []float64 // flat parameter vector
+
+	// Per-layer views into params, rebuilt whenever the backing array
+	// changes (SetParams keeps the same array, so views stay valid).
+	wOff, bOff []int
+
+	// Caches for backpropagation, filled by Forward.
+	acts []([]float64) // acts[0] = input copy, acts[i] = output of layer i-1
+	pre  []([]float64) // pre-activation values per layer
+}
+
+// New constructs a network with the given layer sizes (at least input and
+// output) and initialises weights with He initialisation drawn from rng.
+// Biases start at zero. For example, New(rng, 5, 32, 15) builds the paper's
+// policy network: 5 state features, one hidden layer of 32 neurons, and one
+// output per V/f level.
+func New(rng *rand.Rand, sizes ...int) *Network {
+	if len(sizes) < 2 {
+		panic("nn: New requires at least an input and an output size")
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("nn: invalid layer size %d", s))
+		}
+	}
+	n := &Network{sizes: append([]int(nil), sizes...)}
+	total := 0
+	for l := 0; l < len(sizes)-1; l++ {
+		n.wOff = append(n.wOff, total)
+		total += sizes[l] * sizes[l+1]
+		n.bOff = append(n.bOff, total)
+		total += sizes[l+1]
+	}
+	n.params = make([]float64, total)
+	n.acts = make([][]float64, len(sizes))
+	n.pre = make([][]float64, len(sizes)-1)
+	for i, s := range sizes {
+		n.acts[i] = make([]float64, s)
+		if i > 0 {
+			n.pre[i-1] = make([]float64, s)
+		}
+	}
+	n.heInit(rng)
+	return n
+}
+
+// heInit draws weights from N(0, sqrt(2/fanIn)), the standard initialisation
+// for ReLU networks, and zeroes biases.
+func (n *Network) heInit(rng *rand.Rand) {
+	for l := 0; l < len(n.sizes)-1; l++ {
+		fanIn := n.sizes[l]
+		std := math.Sqrt(2 / float64(fanIn))
+		w := n.weights(l)
+		for i := range w {
+			w[i] = rng.NormFloat64() * std
+		}
+		b := n.biases(l)
+		for i := range b {
+			b[i] = 0
+		}
+	}
+}
+
+// weights returns the weight view of layer l ([out][in] row-major).
+func (n *Network) weights(l int) []float64 {
+	return n.params[n.wOff[l] : n.wOff[l]+n.sizes[l]*n.sizes[l+1]]
+}
+
+// biases returns the bias view of layer l.
+func (n *Network) biases(l int) []float64 {
+	return n.params[n.bOff[l] : n.bOff[l]+n.sizes[l+1]]
+}
+
+// Sizes returns a copy of the layer sizes, including input and output.
+func (n *Network) Sizes() []int { return append([]int(nil), n.sizes...) }
+
+// NumParams returns the total number of trainable parameters. The paper's
+// 5-32-15 network has 5·32+32 + 32·15+15 = 687 parameters.
+func (n *Network) NumParams() int { return len(n.params) }
+
+// Params returns the live flat parameter vector. Mutating it mutates the
+// network; callers that need a snapshot should copy it.
+func (n *Network) Params() []float64 { return n.params }
+
+// SetParams overwrites the network parameters with p, which must have
+// exactly NumParams elements. The data is copied.
+func (n *Network) SetParams(p []float64) {
+	if len(p) != len(n.params) {
+		panic(fmt.Sprintf("nn: SetParams length %d, want %d", len(p), len(n.params)))
+	}
+	copy(n.params, p)
+}
+
+// Clone returns a deep copy of the network, including parameters but not the
+// transient activation caches.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		sizes:  append([]int(nil), n.sizes...),
+		params: append([]float64(nil), n.params...),
+		wOff:   append([]int(nil), n.wOff...),
+		bOff:   append([]int(nil), n.bOff...),
+	}
+	c.acts = make([][]float64, len(c.sizes))
+	c.pre = make([][]float64, len(c.sizes)-1)
+	for i, s := range c.sizes {
+		c.acts[i] = make([]float64, s)
+		if i > 0 {
+			c.pre[i-1] = make([]float64, s)
+		}
+	}
+	return c
+}
+
+// Forward runs inference on x (length must equal the input size) and returns
+// the output activations. The returned slice is owned by the network and is
+// valid until the next Forward call; copy it if it must outlive that.
+// Intermediate activations are cached for a subsequent Backward call.
+func (n *Network) Forward(x []float64) []float64 {
+	if len(x) != n.sizes[0] {
+		panic(fmt.Sprintf("nn: Forward input length %d, want %d", len(x), n.sizes[0]))
+	}
+	copy(n.acts[0], x)
+	last := len(n.sizes) - 2
+	for l := 0; l <= last; l++ {
+		in := n.acts[l]
+		out := n.pre[l]
+		w := n.weights(l)
+		b := n.biases(l)
+		nin, nout := n.sizes[l], n.sizes[l+1]
+		for j := 0; j < nout; j++ {
+			sum := b[j]
+			row := w[j*nin : (j+1)*nin]
+			for i, v := range in {
+				sum += row[i] * v
+			}
+			out[j] = sum
+		}
+		act := n.acts[l+1]
+		if l == last {
+			copy(act, out) // linear output layer
+		} else {
+			for j, v := range out {
+				if v > 0 {
+					act[j] = v
+				} else {
+					act[j] = 0
+				}
+			}
+		}
+	}
+	return n.acts[len(n.acts)-1]
+}
+
+// Backward backpropagates gradOut — the gradient of the loss with respect to
+// the network output of the most recent Forward call — and accumulates the
+// parameter gradient into grad, which must have NumParams elements. Backward
+// must be preceded by a Forward call on the corresponding input; it does not
+// modify the network parameters.
+func (n *Network) Backward(gradOut []float64, grad []float64) {
+	nl := len(n.sizes) - 1
+	if len(gradOut) != n.sizes[nl] {
+		panic(fmt.Sprintf("nn: Backward gradient length %d, want %d", len(gradOut), n.sizes[nl]))
+	}
+	if len(grad) != len(n.params) {
+		panic(fmt.Sprintf("nn: Backward grad buffer length %d, want %d", len(grad), len(n.params)))
+	}
+	// delta holds dL/d(pre-activation) of the current layer.
+	delta := append([]float64(nil), gradOut...)
+	for l := nl - 1; l >= 0; l-- {
+		in := n.acts[l]
+		nin, nout := n.sizes[l], n.sizes[l+1]
+		gw := grad[n.wOff[l] : n.wOff[l]+nin*nout]
+		gb := grad[n.bOff[l] : n.bOff[l]+nout]
+		for j := 0; j < nout; j++ {
+			d := delta[j]
+			if d == 0 {
+				continue
+			}
+			gb[j] += d
+			row := gw[j*nin : (j+1)*nin]
+			for i, v := range in {
+				row[i] += d * v
+			}
+		}
+		if l == 0 {
+			break
+		}
+		// Propagate to the previous layer and apply the ReLU derivative.
+		w := n.weights(l)
+		prev := make([]float64, nin)
+		for j := 0; j < nout; j++ {
+			d := delta[j]
+			if d == 0 {
+				continue
+			}
+			row := w[j*nin : (j+1)*nin]
+			for i := range prev {
+				prev[i] += d * row[i]
+			}
+		}
+		pre := n.pre[l-1]
+		for i := range prev {
+			if pre[i] <= 0 {
+				prev[i] = 0
+			}
+		}
+		delta = prev
+	}
+}
+
+// AverageParams overwrites dst with the element-wise mean of the given
+// parameter vectors, implementing the unweighted federated-averaging step of
+// Algorithm 2 (θ_{r+1} = 1/N · Σ θ_r^n). All vectors must share dst's
+// length, and at least one source is required.
+func AverageParams(dst []float64, srcs ...[]float64) {
+	if len(srcs) == 0 {
+		panic("nn: AverageParams requires at least one source")
+	}
+	for _, s := range srcs {
+		if len(s) != len(dst) {
+			panic(fmt.Sprintf("nn: AverageParams length mismatch: %d vs %d", len(s), len(dst)))
+		}
+	}
+	inv := 1 / float64(len(srcs))
+	for i := range dst {
+		sum := 0.0
+		for _, s := range srcs {
+			sum += s[i]
+		}
+		dst[i] = sum * inv
+	}
+}
+
+// WeightedAverageParams overwrites dst with the weights-proportional mean
+// of the parameter vectors — the original FedAvg formulation, which weights
+// each client by its local sample count (McMahan et al., Eq. 1). Weights
+// must be non-negative with a positive sum; the paper's §III-B instantiation
+// is the unweighted special case (AverageParams).
+func WeightedAverageParams(dst []float64, srcs [][]float64, weights []float64) {
+	if len(srcs) == 0 {
+		panic("nn: WeightedAverageParams requires at least one source")
+	}
+	if len(weights) != len(srcs) {
+		panic(fmt.Sprintf("nn: %d weights for %d sources", len(weights), len(srcs)))
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("nn: negative weight %v at %d", w, i))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("nn: weights sum to zero")
+	}
+	for _, s := range srcs {
+		if len(s) != len(dst) {
+			panic(fmt.Sprintf("nn: WeightedAverageParams length mismatch: %d vs %d", len(s), len(dst)))
+		}
+	}
+	for i := range dst {
+		sum := 0.0
+		for j, s := range srcs {
+			sum += s[i] * weights[j]
+		}
+		dst[i] = sum / total
+	}
+}

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer applies a gradient step to a flat parameter vector. Step
+// consumes the gradient as-is; callers are responsible for zeroing or
+// rescaling accumulated gradients between steps.
+type Optimizer interface {
+	// Step updates params in place given the gradient of the loss.
+	Step(params, grad []float64)
+	// Reset clears any internal state (moment estimates, step counters) so
+	// the optimizer behaves as freshly constructed. Used when a device
+	// receives a new global model at the start of a federated round.
+	Reset()
+}
+
+// SGD is plain stochastic gradient descent with an optional momentum term.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity []float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and no
+// momentum.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step applies params -= lr·grad (with momentum if configured).
+func (s *SGD) Step(params, grad []float64) {
+	if len(params) != len(grad) {
+		panic(fmt.Sprintf("nn: SGD.Step length mismatch: %d vs %d", len(params), len(grad)))
+	}
+	if s.Momentum == 0 {
+		for i := range params {
+			params[i] -= s.LR * grad[i]
+		}
+		return
+	}
+	if len(s.velocity) != len(params) {
+		s.velocity = make([]float64, len(params))
+	}
+	for i := range params {
+		s.velocity[i] = s.Momentum*s.velocity[i] + grad[i]
+		params[i] -= s.LR * s.velocity[i]
+	}
+}
+
+// Reset clears the momentum buffer.
+func (s *SGD) Reset() { s.velocity = nil }
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015) used by the paper,
+// with the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8 defaults.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	t    int
+	m, v []float64
+}
+
+// NewAdam returns an Adam optimizer with the given learning rate and the
+// standard default moment decay rates.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one bias-corrected Adam update to params in place.
+func (a *Adam) Step(params, grad []float64) {
+	if len(params) != len(grad) {
+		panic(fmt.Sprintf("nn: Adam.Step length mismatch: %d vs %d", len(params), len(grad)))
+	}
+	if len(a.m) != len(params) {
+		a.m = make([]float64, len(params))
+		a.v = make([]float64, len(params))
+		a.t = 0
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i := range params {
+		g := grad[i]
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*g
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*g*g
+		mhat := a.m[i] / c1
+		vhat := a.v[i] / c2
+		params[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+	}
+}
+
+// Reset clears the moment estimates and step counter.
+func (a *Adam) Reset() {
+	a.m, a.v, a.t = nil, nil, 0
+}

@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSGDStep(t *testing.T) {
+	opt := NewSGD(0.1)
+	params := []float64{1, 2}
+	opt.Step(params, []float64{10, -10})
+	if params[0] != 0 || params[1] != 3 {
+		t.Fatalf("SGD step: %v, want [0 3]", params)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	opt := &SGD{LR: 0.1, Momentum: 0.9}
+	params := []float64{0}
+	opt.Step(params, []float64{1}) // v=1, p=-0.1
+	opt.Step(params, []float64{1}) // v=1.9, p=-0.29
+	if math.Abs(params[0]+0.29) > 1e-12 {
+		t.Fatalf("momentum step: %v, want -0.29", params[0])
+	}
+}
+
+func TestSGDReset(t *testing.T) {
+	opt := &SGD{LR: 0.1, Momentum: 0.9}
+	params := []float64{0}
+	opt.Step(params, []float64{1})
+	opt.Reset()
+	params[0] = 0
+	opt.Step(params, []float64{1})
+	if math.Abs(params[0]+0.1) > 1e-12 {
+		t.Fatalf("after reset: %v, want -0.1 (no residual velocity)", params[0])
+	}
+}
+
+func TestSGDLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SGD.Step length mismatch did not panic")
+		}
+	}()
+	NewSGD(0.1).Step([]float64{1}, []float64{1, 2})
+}
+
+func TestAdamFirstStepMagnitude(t *testing.T) {
+	// With bias correction, the first Adam step has magnitude ≈ lr for any
+	// non-zero gradient.
+	opt := NewAdam(0.01)
+	params := []float64{5}
+	opt.Step(params, []float64{123})
+	if math.Abs((5-params[0])-0.01) > 1e-6 {
+		t.Fatalf("first Adam step moved %v, want ~0.01", 5-params[0])
+	}
+	// ... and points against the gradient sign.
+	opt2 := NewAdam(0.01)
+	params2 := []float64{5}
+	opt2.Step(params2, []float64{-123})
+	if params2[0] <= 5 {
+		t.Fatalf("Adam moved with the gradient, not against it")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimise f(x) = (x - 3)²; gradient 2(x-3).
+	opt := NewAdam(0.1)
+	params := []float64{-4}
+	for i := 0; i < 500; i++ {
+		opt.Step(params, []float64{2 * (params[0] - 3)})
+	}
+	if math.Abs(params[0]-3) > 0.01 {
+		t.Fatalf("Adam did not converge: x = %v, want 3", params[0])
+	}
+}
+
+func TestAdamReset(t *testing.T) {
+	opt := NewAdam(0.01)
+	a := []float64{1}
+	opt.Step(a, []float64{1})
+	firstMove := 1 - a[0]
+	opt.Reset()
+	b := []float64{1}
+	opt.Step(b, []float64{1})
+	if math.Abs((1-b[0])-firstMove) > 1e-12 {
+		t.Fatalf("reset Adam first step %v != fresh first step %v", 1-b[0], firstMove)
+	}
+}
+
+func TestAdamLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Adam.Step length mismatch did not panic")
+		}
+	}()
+	NewAdam(0.01).Step([]float64{1, 2}, []float64{1})
+}
+
+func TestAdamDefaults(t *testing.T) {
+	opt := NewAdam(0.005)
+	if opt.Beta1 != 0.9 || opt.Beta2 != 0.999 || opt.Eps != 1e-8 {
+		t.Fatalf("Adam defaults: β1=%v β2=%v ε=%v", opt.Beta1, opt.Beta2, opt.Eps)
+	}
+	if opt.LR != 0.005 {
+		t.Fatalf("Adam LR = %v, want 0.005 (Table I)", opt.LR)
+	}
+}
+
+func TestTrainNetworkOnRegression(t *testing.T) {
+	// End-to-end: a 1-8-1 network trained with Adam should fit y = 2x - 1
+	// on [0, 1] to small error.
+	rng := newTestRand()
+	n := New(rng, 1, 8, 1)
+	opt := NewAdam(0.01)
+	grad := make([]float64, n.NumParams())
+	for epoch := 0; epoch < 3000; epoch++ {
+		x := rng.Float64()
+		y := 2*x - 1
+		out := n.Forward([]float64{x})
+		_, g := SquaredError(out[0], y)
+		for i := range grad {
+			grad[i] = 0
+		}
+		n.Backward([]float64{g}, grad)
+		opt.Step(n.Params(), grad)
+	}
+	worst := 0.0
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := n.Forward([]float64{x})[0]
+		want := 2*x - 1
+		if d := math.Abs(got - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.1 {
+		t.Fatalf("regression fit worst-case error %v, want < 0.1", worst)
+	}
+}

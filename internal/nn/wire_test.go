@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func TestWireSizePaperTransfer(t *testing.T) {
+	// The paper reports 2.8 kB per transfer: 687 params × 4 B = 2748 B.
+	if got := WireSize(687); got != 2748 {
+		t.Fatalf("WireSize(687) = %d, want 2748", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	params := []float64{0, 1, -1, 0.5, 1e-3, -123.456, math.Pi}
+	buf := EncodeParams(params)
+	if len(buf) != WireSize(len(params)) {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), WireSize(len(params)))
+	}
+	dst := make([]float64, len(params))
+	if err := DecodeParams(dst, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range params {
+		// float32 round trip: relative error bounded by 2^-23.
+		if math.Abs(dst[i]-params[i]) > 1e-6*(1+math.Abs(params[i])) {
+			t.Errorf("param %d: %v -> %v", i, params[i], dst[i])
+		}
+	}
+}
+
+func TestDecodeLengthMismatch(t *testing.T) {
+	dst := make([]float64, 3)
+	if err := DecodeParams(dst, make([]byte, 11)); err == nil {
+		t.Fatal("decode with wrong buffer length succeeded")
+	}
+	if err := DecodeParams(dst, make([]byte, 16)); err == nil {
+		t.Fatal("decode with excess buffer succeeded")
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	buf := EncodeParams(nil)
+	if len(buf) != 0 {
+		t.Fatalf("empty encode produced %d bytes", len(buf))
+	}
+	if err := DecodeParams(nil, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: round trip through the wire format is a float32 quantisation —
+// decoding what was encoded equals float64(float32(x)).
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(params []float64) bool {
+		for i, p := range params {
+			if math.IsNaN(p) || math.IsInf(p, 0) || math.Abs(p) > math.MaxFloat32/2 {
+				params[i] = 0
+			}
+		}
+		buf := EncodeParams(params)
+		dst := make([]float64, len(params))
+		if err := DecodeParams(dst, buf); err != nil {
+			return false
+		}
+		for i := range params {
+			if dst[i] != float64(float32(params[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoding is stable — two encodes of the same vector are
+// byte-identical (required for deterministic transfer-size accounting).
+func TestWireDeterministicProperty(t *testing.T) {
+	rng := newTestRand()
+	for trial := 0; trial < 20; trial++ {
+		params := make([]float64, rng.Intn(100))
+		for i := range params {
+			params[i] = rng.NormFloat64()
+		}
+		a := EncodeParams(params)
+		b := EncodeParams(params)
+		if string(a) != string(b) {
+			t.Fatal("encoding not deterministic")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package replay implements the experience replay buffer of Algorithm 1: a
+// fixed-capacity ring that stores the C most recent (state, action, reward)
+// samples from the power controller's interaction with the processor and
+// serves uniformly sampled mini-batches for the policy-network update.
+//
+// The buffer is strictly local to a device — in the federated protocol its
+// contents never leave the device; only model parameters do.
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sample is one interaction with the processor: the observed state, the
+// V/f level chosen (as an action index), and the reward computed from the
+// subsequent observation.
+type Sample struct {
+	State  []float64
+	Action int
+	Reward float64
+}
+
+// Buffer is a fixed-capacity ring buffer of Samples. Once full, new samples
+// overwrite the oldest ones, so the buffer always holds the most recent C
+// interactions. The zero value is not usable; construct with New.
+type Buffer struct {
+	data  []Sample
+	next  int
+	full  bool
+	added int
+}
+
+// New returns an empty buffer with the given capacity (the paper's C,
+// default 4000). It panics on a non-positive capacity.
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("replay: invalid capacity %d", capacity))
+	}
+	return &Buffer{data: make([]Sample, 0, capacity)}
+}
+
+// Add appends a sample, evicting the oldest one when the buffer is full. The
+// state slice is copied so callers may reuse their buffer.
+func (b *Buffer) Add(state []float64, action int, reward float64) {
+	s := Sample{State: append([]float64(nil), state...), Action: action, Reward: reward}
+	b.added++
+	if len(b.data) < cap(b.data) {
+		b.data = append(b.data, s)
+		return
+	}
+	b.full = true
+	b.data[b.next] = s
+	b.next = (b.next + 1) % cap(b.data)
+}
+
+// Len returns the number of samples currently stored.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Cap returns the buffer capacity C.
+func (b *Buffer) Cap() int { return cap(b.data) }
+
+// Added returns the total number of samples ever added, including evicted
+// ones. Useful for overhead accounting and tests.
+func (b *Buffer) Added() int { return b.added }
+
+// Full reports whether the buffer has wrapped at least once.
+func (b *Buffer) Full() bool { return b.full }
+
+// Sample draws n samples uniformly at random with replacement into dst and
+// returns it (allocating when dst is too small). Sampling with replacement
+// matches the standard replay formulation and keeps the draw O(n). It panics
+// when the buffer is empty.
+func (b *Buffer) Sample(rng *rand.Rand, n int, dst []Sample) []Sample {
+	if len(b.data) == 0 {
+		panic("replay: Sample from empty buffer")
+	}
+	if cap(dst) < n {
+		dst = make([]Sample, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = b.data[rng.Intn(len(b.data))]
+	}
+	return dst
+}
+
+// At returns the i-th stored sample in insertion-ring order. It is intended
+// for tests and diagnostics; training code should use Sample.
+func (b *Buffer) At(i int) Sample {
+	if i < 0 || i >= len(b.data) {
+		panic(fmt.Sprintf("replay: index %d out of range [0,%d)", i, len(b.data)))
+	}
+	return b.data[i]
+}
+
+// Footprint returns the storage footprint of a full buffer in bytes, using
+// the on-device float32 representation the paper assumes (4 bytes per state
+// feature and per reward, 4 bytes per action index). For the paper's
+// configuration — C = 4000, 5 state features — this is 112 kB, the "roughly
+// 100 kB of storage" reported in §IV-C.
+func (b *Buffer) Footprint(stateDim int) int {
+	return b.Cap() * (4*stateDim + 4 + 4)
+}
+
+// Reset discards all stored samples but keeps the capacity.
+func (b *Buffer) Reset() {
+	b.data = b.data[:0]
+	b.next = 0
+	b.full = false
+	b.added = 0
+}

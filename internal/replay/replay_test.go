@@ -1,0 +1,206 @@
+package replay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", c)
+				}
+			}()
+			New(c)
+		}()
+	}
+}
+
+func TestAddAndLen(t *testing.T) {
+	b := New(3)
+	if b.Len() != 0 || b.Cap() != 3 || b.Full() {
+		t.Fatalf("fresh buffer: len=%d cap=%d full=%v", b.Len(), b.Cap(), b.Full())
+	}
+	b.Add([]float64{1}, 0, 0.5)
+	b.Add([]float64{2}, 1, 0.6)
+	if b.Len() != 2 || b.Full() {
+		t.Fatalf("after 2 adds: len=%d full=%v", b.Len(), b.Full())
+	}
+	b.Add([]float64{3}, 2, 0.7)
+	if b.Len() != 3 {
+		t.Fatalf("len=%d, want 3", b.Len())
+	}
+}
+
+func TestEvictionKeepsMostRecent(t *testing.T) {
+	b := New(3)
+	for i := 0; i < 5; i++ {
+		b.Add([]float64{float64(i)}, i, float64(i))
+	}
+	if !b.Full() {
+		t.Fatal("buffer should be full after wrap")
+	}
+	if b.Added() != 5 {
+		t.Fatalf("Added = %d, want 5", b.Added())
+	}
+	// The most recent C samples are 2, 3, 4 (in ring positions).
+	seen := map[int]bool{}
+	for i := 0; i < b.Len(); i++ {
+		seen[b.At(i).Action] = true
+	}
+	for _, want := range []int{2, 3, 4} {
+		if !seen[want] {
+			t.Errorf("sample with action %d evicted too early; kept %v", want, seen)
+		}
+	}
+	for _, gone := range []int{0, 1} {
+		if seen[gone] {
+			t.Errorf("sample with action %d should have been evicted", gone)
+		}
+	}
+}
+
+func TestAddCopiesState(t *testing.T) {
+	b := New(2)
+	state := []float64{1, 2}
+	b.Add(state, 0, 0)
+	state[0] = 99
+	if b.At(0).State[0] != 1 {
+		t.Fatal("buffer retained caller's state slice")
+	}
+}
+
+func TestSampleFromEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample from empty buffer did not panic")
+		}
+	}()
+	New(4).Sample(rand.New(rand.NewSource(1)), 1, nil)
+}
+
+func TestSampleSizeAndReuse(t *testing.T) {
+	b := New(10)
+	for i := 0; i < 10; i++ {
+		b.Add([]float64{float64(i)}, i, 0)
+	}
+	rng := rand.New(rand.NewSource(1))
+	dst := b.Sample(rng, 4, nil)
+	if len(dst) != 4 {
+		t.Fatalf("sample size %d, want 4", len(dst))
+	}
+	dst2 := b.Sample(rng, 4, dst)
+	if &dst2[0] != &dst[0] {
+		t.Fatal("Sample reallocated although dst had capacity")
+	}
+}
+
+func TestSampleUniformity(t *testing.T) {
+	// With 4 stored samples and many draws, each should appear with
+	// frequency ~1/4.
+	b := New(4)
+	for i := 0; i < 4; i++ {
+		b.Add([]float64{0}, i, 0)
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 4)
+	const draws = 40000
+	batch := make([]Sample, 100)
+	for d := 0; d < draws/100; d++ {
+		for _, s := range b.Sample(rng, 100, batch) {
+			counts[s.Action]++
+		}
+	}
+	for a, c := range counts {
+		frac := float64(c) / draws
+		if frac < 0.22 || frac > 0.28 {
+			t.Errorf("action %d sampled with frequency %.3f, want ~0.25", a, frac)
+		}
+	}
+}
+
+func TestAtBoundsPanics(t *testing.T) {
+	b := New(2)
+	b.Add([]float64{1}, 0, 0)
+	for _, i := range []int{-1, 1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", i)
+				}
+			}()
+			b.At(i)
+		}()
+	}
+}
+
+func TestFootprintMatchesPaper(t *testing.T) {
+	// Paper §IV-C: the replay buffer "requires an additional 100 kB of
+	// storage". C=4000 samples × (5 features + action + reward) × 4 B =
+	// 112000 B ≈ 100 kB.
+	b := New(4000)
+	got := b.Footprint(5)
+	if got != 112000 {
+		t.Fatalf("Footprint = %d, want 112000", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(2)
+	b.Add([]float64{1}, 0, 0)
+	b.Add([]float64{2}, 1, 0)
+	b.Add([]float64{3}, 0, 0)
+	b.Reset()
+	if b.Len() != 0 || b.Full() || b.Added() != 0 {
+		t.Fatalf("after reset: len=%d full=%v added=%d", b.Len(), b.Full(), b.Added())
+	}
+	b.Add([]float64{4}, 1, 0.25)
+	if b.Len() != 1 || b.At(0).Reward != 0.25 {
+		t.Fatal("buffer unusable after reset")
+	}
+}
+
+// Property: Len never exceeds Cap and equals min(Added, Cap).
+func TestLenInvariantProperty(t *testing.T) {
+	f := func(capRaw uint8, adds uint16) bool {
+		capacity := int(capRaw%50) + 1
+		b := New(capacity)
+		n := int(adds % 500)
+		for i := 0; i < n; i++ {
+			b.Add([]float64{float64(i)}, 0, 0)
+		}
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		return b.Len() == want && b.Added() == n && b.Len() <= b.Cap()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sampled elements are always elements currently in the buffer.
+func TestSampleMembershipProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		capacity := rng.Intn(20) + 1
+		b := New(capacity)
+		total := rng.Intn(60) + 1
+		for i := 0; i < total; i++ {
+			b.Add([]float64{float64(i)}, i, float64(i))
+		}
+		lo := total - capacity
+		if lo < 0 {
+			lo = 0
+		}
+		for _, s := range b.Sample(rng, 50, nil) {
+			if s.Action < lo || s.Action >= total {
+				t.Fatalf("sampled action %d outside live window [%d, %d)", s.Action, lo, total)
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Observation is what the power controller sees after one control interval:
+// the active operating point and the performance-counter and power-sensor
+// readings accumulated over the interval. These five quantities form the
+// agent state s = (f, P, ipc, mr, mpki) of §III-A.
+type Observation struct {
+	Level     int     // active V/f level index
+	FreqMHz   float64 // active core frequency
+	NormFreq  float64 // FreqMHz / f_max, the performance surrogate
+	PowerW    float64 // measured average power over the interval (noisy)
+	IPC       float64 // measured instructions per cycle (noisy)
+	MissRate  float64 // LLC miss rate = misses / accesses
+	MPKI      float64 // LLC misses per kilo-instruction
+	Instr     float64 // instructions retired this interval
+	ElapsedS  float64 // interval length in seconds
+	EnergyJ   float64 // energy consumed this interval (power × time, noiseless)
+	TruePower float64 // noiseless model power, for analysis and tests
+	TempC     float64 // die temperature; 0 unless a ThermalModel is attached
+}
+
+// Device simulates one DVFS-controlled processor executing a Workload. It is
+// the stand-in for a Jetson Nano board: the controller sets a V/f level,
+// lets the device run for a control interval, and receives an Observation.
+//
+// Measurement noise: power readings carry additive Gaussian noise (the INA
+// power monitor on the real board is similarly noisy), and IPC readings a
+// small relative jitter. Noise draws come from the device's own rand source
+// so experiments are reproducible.
+type Device struct {
+	Table *VFTable
+	Power PowerModel
+
+	// PowerNoiseW is the standard deviation of the additive Gaussian noise
+	// on power readings, in watts.
+	PowerNoiseW float64
+	// IPCNoiseRel is the standard deviation of the multiplicative Gaussian
+	// noise on IPC readings (relative).
+	IPCNoiseRel float64
+
+	// Thermal, when non-nil, enables the lumped-RC temperature model with
+	// leakage feedback — the effect the paper's §III-A footnote neglects.
+	// Thermal state persists across workloads (the die stays warm).
+	Thermal *ThermalModel
+
+	level    int
+	workload Workload
+	rng      *rand.Rand
+
+	// Cumulative accounting since the last ResetStats, used by the
+	// experiment harness for execution-time / IPS / power metrics.
+	totalTimeS   float64
+	totalInstr   float64
+	totalEnergyJ float64
+}
+
+// NewDevice returns a device with the given V/f table and power model,
+// default noise levels, the lowest V/f level active, and no workload loaded.
+func NewDevice(table *VFTable, pm PowerModel, rng *rand.Rand) *Device {
+	if table == nil {
+		panic("sim: NewDevice requires a V/f table")
+	}
+	if rng == nil {
+		panic("sim: NewDevice requires a rand source")
+	}
+	return &Device{
+		Table:       table,
+		Power:       pm,
+		PowerNoiseW: 0.010,
+		IPCNoiseRel: 0.02,
+		rng:         rng,
+	}
+}
+
+// Load installs a workload (resetting it) and makes it the running
+// application.
+func (d *Device) Load(w Workload) {
+	w.Reset()
+	d.workload = w
+}
+
+// Workload returns the currently loaded workload, or nil.
+func (d *Device) Workload() Workload { return d.workload }
+
+// SetLevel performs the DVFS action: it switches the processor to V/f level
+// k. On real hardware the switch costs microseconds; against the 500 ms
+// control interval it is treated as instantaneous.
+func (d *Device) SetLevel(k int) {
+	if k < 0 || k >= d.Table.Len() {
+		panic(fmt.Sprintf("sim: SetLevel %d out of range [0,%d)", k, d.Table.Len()))
+	}
+	d.level = k
+}
+
+// Level returns the active V/f level index.
+func (d *Device) Level() int { return d.level }
+
+// Done reports whether the loaded workload has retired all its instructions
+// (or whether no workload is loaded).
+func (d *Device) Done() bool {
+	return d.workload == nil || d.workload.Remaining() <= 0
+}
+
+// Step runs the device for dt seconds at the active V/f level and returns
+// the resulting observation. If the workload completes mid-interval the
+// observation covers only the time actually executed (ElapsedS < dt).
+// Step panics when no workload is loaded or dt is not positive.
+func (d *Device) Step(dt float64) Observation {
+	if d.workload == nil {
+		panic("sim: Step with no workload loaded")
+	}
+	if dt <= 0 {
+		panic(fmt.Sprintf("sim: Step interval %v must be positive", dt))
+	}
+	lv := d.Table.Level(d.level)
+	dem := d.workload.Demand()
+
+	ipc := IPC(dem, lv.FreqMHz)
+	ips := ipc * lv.FreqMHz * 1e6
+
+	instr := ips * dt
+	elapsed := dt
+	if rem := d.workload.Remaining(); instr >= rem {
+		instr = rem
+		elapsed = rem / ips
+	}
+	d.workload.Advance(instr)
+
+	truePower := d.Power.Total(lv.VoltV, lv.FreqMHz, ipc, dem.Activity)
+	tempC := 0.0
+	if d.Thermal != nil {
+		// Temperature-dependent leakage: scale the static component by the
+		// current leakage factor, then advance the thermal state under the
+		// resulting draw.
+		static := d.Power.Static(lv.VoltV)
+		truePower += static * (d.Thermal.LeakageScale() - 1)
+	}
+	measPower := truePower + d.rng.NormFloat64()*d.PowerNoiseW
+	if measPower < 0 {
+		measPower = 0
+	}
+	measIPC := ipc * (1 + d.rng.NormFloat64()*d.IPCNoiseRel)
+	if measIPC < 0 {
+		measIPC = 0
+	}
+
+	missRate := 0.0
+	if dem.APKI > 0 {
+		missRate = dem.MPKI / dem.APKI
+	}
+
+	energy := truePower * elapsed
+	d.totalTimeS += elapsed
+	d.totalInstr += instr
+	d.totalEnergyJ += energy
+
+	if d.Thermal != nil {
+		tempC = d.Thermal.Advance(truePower, elapsed)
+	}
+
+	return Observation{
+		Level:     d.level,
+		FreqMHz:   lv.FreqMHz,
+		NormFreq:  lv.FreqMHz / d.Table.MaxFreqMHz(),
+		PowerW:    measPower,
+		IPC:       measIPC,
+		MissRate:  missRate,
+		MPKI:      dem.MPKI,
+		Instr:     instr,
+		ElapsedS:  elapsed,
+		EnergyJ:   energy,
+		TruePower: truePower,
+		TempC:     tempC,
+	}
+}
+
+// Stats summarises the device's execution since the last ResetStats.
+type Stats struct {
+	TimeS   float64 // total executed wall-clock time
+	Instr   float64 // total retired instructions
+	EnergyJ float64 // total energy
+}
+
+// AvgIPS returns the mean instructions per second, or 0 before any
+// execution.
+func (s Stats) AvgIPS() float64 {
+	if s.TimeS == 0 {
+		return 0
+	}
+	return s.Instr / s.TimeS
+}
+
+// AvgPowerW returns the mean power draw, or 0 before any execution.
+func (s Stats) AvgPowerW() float64 {
+	if s.TimeS == 0 {
+		return 0
+	}
+	return s.EnergyJ / s.TimeS
+}
+
+// Stats returns the cumulative execution statistics.
+func (d *Device) Stats() Stats {
+	return Stats{TimeS: d.totalTimeS, Instr: d.totalInstr, EnergyJ: d.totalEnergyJ}
+}
+
+// ResetStats zeroes the cumulative execution statistics.
+func (d *Device) ResetStats() {
+	d.totalTimeS, d.totalInstr, d.totalEnergyJ = 0, 0, 0
+}
+
+// OptimalLevel returns the highest V/f level whose noiseless model power for
+// demand d stays at or below pCritW, or 0 if even the lowest level exceeds
+// the budget. It is the oracle the learned policies are measured against in
+// tests and ablations.
+func (d *Device) OptimalLevel(dem Demand, pCritW float64) int {
+	best := 0
+	for k := 0; k < d.Table.Len(); k++ {
+		lv := d.Table.Level(k)
+		ipc := IPC(dem, lv.FreqMHz)
+		if d.Power.Total(lv.VoltV, lv.FreqMHz, ipc, dem.Activity) <= pCritW {
+			best = k
+		}
+	}
+	return best
+}

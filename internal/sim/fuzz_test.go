@@ -1,0 +1,127 @@
+package sim_test
+
+// Cross-package fuzz-style property tests: randomly generated (but
+// physically plausible) workloads driven through the device at random
+// DVFS schedules must never violate the simulator's physical invariants.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedpower/internal/core"
+	"fedpower/internal/sim"
+	"fedpower/internal/workload"
+)
+
+func TestRandomWorkloadDeviceInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	table := sim.JetsonNanoTable()
+	pm := sim.DefaultPowerModel()
+	rp := core.RewardParams{PCritW: 0.6, KOffsetW: 0.05}
+
+	for trial := 0; trial < 60; trial++ {
+		spec := workload.RandomSpec(rng, "fuzz")
+		dev := sim.NewDevice(table, pm, rand.New(rand.NewSource(int64(trial))))
+		dev.Load(workload.NewApp(spec))
+
+		var energySum, timeSum, instrSum float64
+		for step := 0; step < 200 && !dev.Done(); step++ {
+			dev.SetLevel(rng.Intn(table.Len()))
+			obs := dev.Step(0.5)
+
+			// Physical invariants.
+			if obs.TruePower <= 0 || math.IsNaN(obs.TruePower) {
+				t.Fatalf("trial %d: non-physical power %v", trial, obs.TruePower)
+			}
+			if obs.PowerW < 0 {
+				t.Fatalf("trial %d: negative measured power %v", trial, obs.PowerW)
+			}
+			if obs.IPC < 0 || obs.IPC > 2.5 {
+				t.Fatalf("trial %d: IPC %v outside the platform envelope", trial, obs.IPC)
+			}
+			if obs.MissRate < 0 || obs.MissRate > 1 {
+				t.Fatalf("trial %d: miss rate %v outside [0, 1]", trial, obs.MissRate)
+			}
+			if obs.Instr < 0 {
+				t.Fatalf("trial %d: negative instruction count", trial)
+			}
+			if obs.ElapsedS <= 0 || obs.ElapsedS > 0.5+1e-9 {
+				t.Fatalf("trial %d: elapsed %v outside (0, dt]", trial, obs.ElapsedS)
+			}
+			// Reward stays in its closed range for any observation.
+			r := rp.Reward(obs.NormFreq, obs.PowerW)
+			if r < -1-1e-12 || r > 1+1e-12 {
+				t.Fatalf("trial %d: reward %v outside [-1, 1]", trial, r)
+			}
+			// The agent state derived from any observation is finite.
+			for i, v := range core.StateVector(obs, nil) {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("trial %d: non-finite state feature %d", trial, i)
+				}
+			}
+			energySum += obs.EnergyJ
+			timeSum += obs.ElapsedS
+			instrSum += obs.Instr
+		}
+
+		// Accounting invariants: the device's cumulative statistics equal
+		// the per-step sums.
+		st := dev.Stats()
+		if math.Abs(st.EnergyJ-energySum) > 1e-9*(1+energySum) {
+			t.Fatalf("trial %d: energy accounting drift %v vs %v", trial, st.EnergyJ, energySum)
+		}
+		if math.Abs(st.TimeS-timeSum) > 1e-9*(1+timeSum) {
+			t.Fatalf("trial %d: time accounting drift", trial)
+		}
+		if math.Abs(st.Instr-instrSum) > 1e-3 {
+			t.Fatalf("trial %d: instruction accounting drift", trial)
+		}
+	}
+}
+
+func TestRandomWorkloadControllerTrains(t *testing.T) {
+	// A controller fed entirely random-spec workloads must stay
+	// numerically healthy: finite parameters after thousands of updates.
+	rng := rand.New(rand.NewSource(99))
+	table := sim.JetsonNanoTable()
+	dev := sim.NewDevice(table, sim.DefaultPowerModel(), rand.New(rand.NewSource(1)))
+	params := core.Defaults(table.Len())
+	ctrl := core.NewController(params, rand.New(rand.NewSource(2)))
+
+	dev.Load(workload.NewApp(workload.RandomSpec(rng, "fuzz-train")))
+	dev.SetLevel(table.Len() / 2)
+	obs := dev.Step(0.5)
+	var state []float64
+	for step := 0; step < 3000; step++ {
+		if dev.Done() {
+			dev.Load(workload.NewApp(workload.RandomSpec(rng, "fuzz-train")))
+		}
+		state = core.StateVector(obs, state)
+		a := ctrl.SelectAction(state)
+		dev.SetLevel(a)
+		obs = dev.Step(0.5)
+		ctrl.Observe(state, a, params.Reward.Reward(obs.NormFreq, obs.PowerW))
+	}
+	for i, v := range ctrl.ModelParams() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("parameter %d became non-finite after random-workload training", i)
+		}
+	}
+	if ctrl.LastLoss() < 0 || math.IsNaN(ctrl.LastLoss()) {
+		t.Fatalf("degenerate training loss %v", ctrl.LastLoss())
+	}
+}
+
+func TestRandomSpecAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		spec := workload.RandomSpec(rng, "x")
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("RandomSpec #%d invalid: %v", i, err)
+		}
+		if spec.MPKI > spec.APKI {
+			t.Fatalf("RandomSpec #%d: MPKI %v > APKI %v", i, spec.MPKI, spec.APKI)
+		}
+	}
+}

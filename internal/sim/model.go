@@ -1,0 +1,110 @@
+package sim
+
+// Demand describes the instantaneous micro-architectural characteristics of
+// the running workload, as seen by the processor model. Workload
+// implementations (package workload) return a Demand for their current
+// execution phase; the processor model turns it into cycles, power and
+// counter readings at the active V/f level.
+type Demand struct {
+	// BaseCPI is the cycles-per-instruction of the instruction stream with a
+	// perfect last-level cache, capturing instruction-level parallelism and
+	// functional-unit pressure (lower = more ILP).
+	BaseCPI float64
+	// MPKI is the number of last-level-cache misses per kilo-instruction.
+	MPKI float64
+	// APKI is the number of last-level-cache accesses per kilo-instruction;
+	// together with MPKI it determines the observable miss rate MPKI/APKI.
+	APKI float64
+	// MemLatencyNs is the DRAM access latency in nanoseconds. Because the
+	// latency is fixed in wall-clock time, its cost in core cycles grows with
+	// frequency — the mechanism that makes memory-bound code insensitive to
+	// DVFS.
+	MemLatencyNs float64
+	// Activity scales the dynamic-power contribution of retired
+	// instructions (switching activity per instruction); 1.0 is a typical
+	// integer workload, floating-point-heavy code runs higher.
+	Activity float64
+}
+
+// Workload is the contract between the processor model and an application:
+// the processor asks for the current Demand, executes instructions against
+// it, and reports progress back via Advance.
+type Workload interface {
+	// Name identifies the application (e.g. "ocean").
+	Name() string
+	// Demand returns the characteristics of the current execution phase.
+	Demand() Demand
+	// Advance accounts for instr retired instructions, possibly crossing
+	// phase boundaries.
+	Advance(instr float64)
+	// Remaining returns the number of instructions left; <= 0 means done.
+	Remaining() float64
+	// Reset rewinds the workload to its beginning.
+	Reset()
+}
+
+// PowerModel holds the calibration constants of the analytic power model
+//
+//	P(V, f, ipc, act) = Pstatic(V) + (CeffBase + CeffIPC·act·ipc) · V² · f[GHz]
+//
+// The dynamic term is the classic C_eff·V²·f with an effective switching
+// capacitance that grows with achieved IPC: a core retiring more
+// instructions per cycle toggles more functional units. The static term
+// models leakage as affine in voltage (temperature feedback is neglected, as
+// in the paper's §III-A footnote).
+type PowerModel struct {
+	StaticBaseW  float64 // leakage at the lowest rail voltage
+	StaticSlopeW float64 // additional leakage per volt above VRef
+	VRefV        float64 // voltage at which leakage equals StaticBaseW
+	CeffBase     float64 // IPC-independent switching capacitance term [W/(V²·GHz)]
+	CeffIPC      float64 // per-IPC switching capacitance term [W/(V²·GHz)]
+}
+
+// DefaultPowerModel returns the calibration used throughout the
+// reproduction. The constants are chosen so that, against the Jetson Nano
+// V/f table, a compute-bound application (IPC ≈ 1.4) crosses the paper's
+// P_crit = 0.6 W constraint near 920 MHz (level 9 of 15) while a
+// memory-bound application (IPC ≈ 0.35 at f_max) stays below 0.6 W even at
+// 1479 MHz — the application-dependent optimum the experiments exercise.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{
+		StaticBaseW:  0.10,
+		StaticSlopeW: 0.19,
+		VRefV:        0.80,
+		CeffBase:     0.080,
+		CeffIPC:      0.230,
+	}
+}
+
+// Static returns the leakage power at rail voltage v.
+func (m PowerModel) Static(v float64) float64 {
+	return m.StaticBaseW + m.StaticSlopeW*(v-m.VRefV)
+}
+
+// Dynamic returns the switching power at rail voltage v, frequency f (MHz),
+// achieved ipc, and workload activity factor act.
+func (m PowerModel) Dynamic(v, freqMHz, ipc, act float64) float64 {
+	fGHz := freqMHz / 1000
+	return (m.CeffBase + m.CeffIPC*act*ipc) * v * v * fGHz
+}
+
+// Total returns static plus dynamic power.
+func (m PowerModel) Total(v, freqMHz, ipc, act float64) float64 {
+	return m.Static(v) + m.Dynamic(v, freqMHz, ipc, act)
+}
+
+// CPI returns the cycles-per-instruction of demand d at frequency f (MHz):
+// the compute component plus the miss penalty, whose cycle cost scales with
+// frequency because DRAM latency is constant in wall-clock time.
+func CPI(d Demand, freqMHz float64) float64 {
+	fGHz := freqMHz / 1000
+	return d.BaseCPI + d.MPKI/1000*d.MemLatencyNs*fGHz
+}
+
+// IPC returns instructions per cycle for demand d at frequency f (MHz).
+func IPC(d Demand, freqMHz float64) float64 { return 1 / CPI(d, freqMHz) }
+
+// IPS returns instructions per second for demand d at frequency f (MHz).
+func IPS(d Demand, freqMHz float64) float64 {
+	return IPC(d, freqMHz) * freqMHz * 1e6
+}

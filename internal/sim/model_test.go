@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func computeDemand() Demand {
+	return Demand{BaseCPI: 0.65, MPKI: 1.5, APKI: 100, MemLatencyNs: 80, Activity: 1.1}
+}
+
+func memoryDemand() Demand {
+	return Demand{BaseCPI: 0.80, MPKI: 22, APKI: 280, MemLatencyNs: 80, Activity: 0.85}
+}
+
+func TestCPIGrowsWithFrequencyForMemoryBound(t *testing.T) {
+	d := memoryDemand()
+	lo := CPI(d, 102)
+	hi := CPI(d, 1479)
+	if hi <= lo {
+		t.Fatalf("memory-bound CPI should grow with frequency: %v -> %v", lo, hi)
+	}
+	// The miss penalty dominates at f_max: 22/1000·80·1.479 ≈ 2.6 cycles.
+	wantPenalty := 22.0 / 1000 * 80 * 1.479
+	if math.Abs(hi-(0.80+wantPenalty)) > 1e-9 {
+		t.Fatalf("CPI at f_max = %v, want %v", hi, 0.80+wantPenalty)
+	}
+}
+
+func TestCPINearlyFlatForComputeBound(t *testing.T) {
+	d := computeDemand()
+	lo := CPI(d, 102)
+	hi := CPI(d, 1479)
+	// Compute-bound: miss penalty at f_max is only 1.5/1000·80·1.479 ≈ 0.18
+	// cycles on a 0.65 base.
+	if (hi-lo)/lo > 0.35 {
+		t.Fatalf("compute-bound CPI grew %v%% across the range", (hi-lo)/lo*100)
+	}
+}
+
+func TestIPCIsInverseCPI(t *testing.T) {
+	d := computeDemand()
+	for _, f := range []float64{102, 614.4, 1479} {
+		if math.Abs(IPC(d, f)*CPI(d, f)-1) > 1e-12 {
+			t.Fatalf("IPC·CPI != 1 at %v MHz", f)
+		}
+	}
+}
+
+func TestIPSMonotoneInFrequency(t *testing.T) {
+	// Even for memory-bound code, raw IPS should never decrease with
+	// frequency in this model (CPI grows sub-linearly with f).
+	table := JetsonNanoTable()
+	for _, d := range []Demand{computeDemand(), memoryDemand()} {
+		prev := 0.0
+		for k := 0; k < table.Len(); k++ {
+			ips := IPS(d, table.Level(k).FreqMHz)
+			if ips <= prev {
+				t.Fatalf("IPS not increasing at level %d for %+v", k, d)
+			}
+			prev = ips
+		}
+	}
+}
+
+func TestIPSDiminishingReturnsForMemoryBound(t *testing.T) {
+	// Doubling frequency from 710 to 1428 MHz should less-than-double
+	// memory-bound IPS but nearly double compute-bound IPS.
+	dm, dc := memoryDemand(), computeDemand()
+	gainMem := IPS(dm, 1428) / IPS(dm, 710.4)
+	gainCmp := IPS(dc, 1428) / IPS(dc, 710.4)
+	if gainMem >= gainCmp {
+		t.Fatalf("memory-bound frequency gain %v should trail compute-bound %v", gainMem, gainCmp)
+	}
+	if gainCmp < 1.75 {
+		t.Errorf("compute-bound gain %v, want near 2", gainCmp)
+	}
+	if gainMem > 1.5 {
+		t.Errorf("memory-bound gain %v, want strongly sub-linear", gainMem)
+	}
+}
+
+func TestPowerModelMonotoneInFrequency(t *testing.T) {
+	pm := DefaultPowerModel()
+	table := JetsonNanoTable()
+	for _, d := range []Demand{computeDemand(), memoryDemand()} {
+		prev := 0.0
+		for k := 0; k < table.Len(); k++ {
+			lv := table.Level(k)
+			p := pm.Total(lv.VoltV, lv.FreqMHz, IPC(d, lv.FreqMHz), d.Activity)
+			if p <= prev {
+				t.Fatalf("power not increasing at level %d", k)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPowerModelCalibration(t *testing.T) {
+	// The property the whole evaluation rests on: under the paper's 0.6 W
+	// constraint, a compute-bound application must throttle to a
+	// mid-range level while a memory-bound one runs at f_max.
+	pm := DefaultPowerModel()
+	table := JetsonNanoTable()
+	top := table.Level(table.Len() - 1)
+
+	dc := computeDemand()
+	pTopCompute := pm.Total(top.VoltV, top.FreqMHz, IPC(dc, top.FreqMHz), dc.Activity)
+	if pTopCompute <= 0.6 {
+		t.Fatalf("compute-bound power at f_max = %v W, must exceed the 0.6 W budget", pTopCompute)
+	}
+
+	dm := memoryDemand()
+	pTopMemory := pm.Total(top.VoltV, top.FreqMHz, IPC(dm, top.FreqMHz), dm.Activity)
+	if pTopMemory > 0.6 {
+		t.Fatalf("memory-bound power at f_max = %v W, must stay under the 0.6 W budget", pTopMemory)
+	}
+
+	// The compute-bound crossover must be strictly inside the range, not
+	// at the edges — otherwise there is nothing to learn.
+	cross := 0
+	for k := 0; k < table.Len(); k++ {
+		lv := table.Level(k)
+		if pm.Total(lv.VoltV, lv.FreqMHz, IPC(dc, lv.FreqMHz), dc.Activity) <= 0.6 {
+			cross = k
+		}
+	}
+	if cross < 3 || cross > 12 {
+		t.Fatalf("compute-bound crossover at level %d, want mid-range", cross)
+	}
+}
+
+func TestStaticPowerGrowsWithVoltage(t *testing.T) {
+	pm := DefaultPowerModel()
+	if pm.Static(1.2) <= pm.Static(0.8) {
+		t.Fatal("leakage must grow with voltage")
+	}
+	if math.Abs(pm.Static(pm.VRefV)-pm.StaticBaseW) > 1e-12 {
+		t.Fatal("Static(VRef) must equal the base leakage")
+	}
+}
+
+func TestDynamicPowerScalesWithActivityAndIPC(t *testing.T) {
+	pm := DefaultPowerModel()
+	base := pm.Dynamic(1.0, 1000, 1.0, 1.0)
+	if pm.Dynamic(1.0, 1000, 2.0, 1.0) <= base {
+		t.Fatal("dynamic power must grow with IPC")
+	}
+	if pm.Dynamic(1.0, 1000, 1.0, 1.5) <= base {
+		t.Fatal("dynamic power must grow with activity")
+	}
+	// Quadratic voltage dependence: doubling V quadruples the dynamic term.
+	if math.Abs(pm.Dynamic(2.0, 1000, 1.0, 1.0)/base-4) > 1e-9 {
+		t.Fatal("dynamic power must scale with V²")
+	}
+}
+
+// Property: total power is always positive and equals static + dynamic.
+func TestPowerDecompositionProperty(t *testing.T) {
+	pm := DefaultPowerModel()
+	f := func(vRaw, fRaw, ipcRaw, actRaw float64) bool {
+		v := 0.7 + math.Abs(math.Mod(vRaw, 0.6))
+		freq := 100 + math.Abs(math.Mod(fRaw, 1400))
+		ipc := math.Abs(math.Mod(ipcRaw, 2))
+		act := 0.5 + math.Abs(math.Mod(actRaw, 1))
+		if math.IsNaN(v) || math.IsNaN(freq) || math.IsNaN(ipc) || math.IsNaN(act) {
+			return true
+		}
+		total := pm.Total(v, freq, ipc, act)
+		return total > 0 && math.Abs(total-(pm.Static(v)+pm.Dynamic(v, freq, ipc, act))) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

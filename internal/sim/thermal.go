@@ -1,0 +1,110 @@
+package sim
+
+import "fmt"
+
+// ThermalModel is an optional lumped-RC die-temperature model with
+// leakage-temperature feedback — the second-order effect the paper's
+// §III-A footnote explicitly neglects ("assuming that we neglect the
+// impact of power consumption on temperature and temperature on leakage
+// power"). It is off by default; attaching it to a Device turns the
+// contextual bandit's stationarity assumption into an approximation, which
+// the thermal ablation benchmark quantifies.
+//
+// Dynamics (explicit Euler over the control interval):
+//
+//	T' = T + dt · (P·R_th − (T − T_amb)) / (R_th·C_th)
+//
+// and leakage scales with temperature as
+//
+//	P_static(V, T) = P_static(V) · (1 + k_leak·(T − T_ref))
+type ThermalModel struct {
+	// RThermal is the junction-to-ambient thermal resistance in K/W.
+	RThermal float64
+	// CThermal is the lumped thermal capacitance in J/K.
+	CThermal float64
+	// TAmbientC is the ambient temperature in °C.
+	TAmbientC float64
+	// TRefC is the temperature at which the leakage model is calibrated.
+	TRefC float64
+	// LeakTempCoeff is the relative leakage increase per kelvin above
+	// TRefC (typical sub-threshold leakage sensitivities are 1–2 %/K).
+	LeakTempCoeff float64
+
+	tempC   float64
+	started bool
+}
+
+// DefaultThermalModel returns a Jetson-Nano-class passive-heatsink
+// calibration: ~25 K/W to ambient, a couple of joules per kelvin of
+// heatsink mass, 1.2 %/K leakage sensitivity.
+func DefaultThermalModel() *ThermalModel {
+	return &ThermalModel{
+		RThermal:      25,
+		CThermal:      2.0,
+		TAmbientC:     25,
+		TRefC:         40,
+		LeakTempCoeff: 0.012,
+	}
+}
+
+// Validate reports the first inconsistent parameter.
+func (m *ThermalModel) Validate() error {
+	switch {
+	case m.RThermal <= 0:
+		return fmt.Errorf("sim: thermal resistance %v must be positive", m.RThermal)
+	case m.CThermal <= 0:
+		return fmt.Errorf("sim: thermal capacitance %v must be positive", m.CThermal)
+	case m.LeakTempCoeff < 0:
+		return fmt.Errorf("sim: leakage coefficient %v must be non-negative", m.LeakTempCoeff)
+	}
+	return nil
+}
+
+// TempC returns the current die temperature, or ambient before the first
+// step.
+func (m *ThermalModel) TempC() float64 {
+	if !m.started {
+		return m.TAmbientC
+	}
+	return m.tempC
+}
+
+// Reset returns the die to ambient temperature.
+func (m *ThermalModel) Reset() {
+	m.tempC = 0
+	m.started = false
+}
+
+// LeakageScale returns the multiplicative factor applied to static power
+// at the current temperature.
+func (m *ThermalModel) LeakageScale() float64 {
+	scale := 1 + m.LeakTempCoeff*(m.TempC()-m.TRefC)
+	if scale < 0 {
+		return 0
+	}
+	return scale
+}
+
+// Advance integrates the thermal state over dt seconds at the given total
+// power draw and returns the new die temperature.
+func (m *ThermalModel) Advance(powerW, dt float64) float64 {
+	if !m.started {
+		m.tempC = m.TAmbientC
+		m.started = true
+	}
+	tau := m.RThermal * m.CThermal
+	// Sub-stepping keeps explicit Euler stable even when dt approaches the
+	// thermal time constant.
+	steps := int(dt/(tau/10)) + 1
+	h := dt / float64(steps)
+	for i := 0; i < steps; i++ {
+		m.tempC += h * (powerW*m.RThermal - (m.tempC - m.TAmbientC)) / tau
+	}
+	return m.tempC
+}
+
+// SteadyStateC returns the equilibrium die temperature for a constant
+// power draw: T_amb + P·R_th.
+func (m *ThermalModel) SteadyStateC(powerW float64) float64 {
+	return m.TAmbientC + powerW*m.RThermal
+}

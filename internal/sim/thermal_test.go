@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestThermalDefaultsValid(t *testing.T) {
+	if err := DefaultThermalModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThermalValidate(t *testing.T) {
+	mutations := []func(*ThermalModel){
+		func(m *ThermalModel) { m.RThermal = 0 },
+		func(m *ThermalModel) { m.CThermal = -1 },
+		func(m *ThermalModel) { m.LeakTempCoeff = -0.01 },
+	}
+	for i, mutate := range mutations {
+		m := DefaultThermalModel()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestThermalStartsAtAmbient(t *testing.T) {
+	m := DefaultThermalModel()
+	if m.TempC() != m.TAmbientC {
+		t.Fatalf("initial temperature %v, want ambient %v", m.TempC(), m.TAmbientC)
+	}
+}
+
+func TestThermalConvergesToSteadyState(t *testing.T) {
+	m := DefaultThermalModel()
+	const power = 0.6
+	want := m.SteadyStateC(power) // 25 + 0.6·25 = 40 °C
+	if math.Abs(want-40) > 1e-9 {
+		t.Fatalf("steady state %v, want 40", want)
+	}
+	// Integrate well past 5 time constants (tau = 50 s).
+	for i := 0; i < 1000; i++ {
+		m.Advance(power, 0.5)
+	}
+	if math.Abs(m.TempC()-want) > 0.1 {
+		t.Fatalf("temperature %v after saturation, want %v", m.TempC(), want)
+	}
+}
+
+func TestThermalMonotoneHeating(t *testing.T) {
+	m := DefaultThermalModel()
+	prev := m.TempC()
+	for i := 0; i < 50; i++ {
+		cur := m.Advance(1.0, 0.5)
+		if cur <= prev {
+			t.Fatalf("heating not monotone at step %d: %v -> %v", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestThermalCoolsWithoutPower(t *testing.T) {
+	m := DefaultThermalModel()
+	for i := 0; i < 400; i++ {
+		m.Advance(1.0, 0.5)
+	}
+	hot := m.TempC()
+	// Cool for six thermal time constants (tau = R·C = 50 s).
+	for i := 0; i < 600; i++ {
+		m.Advance(0, 0.5)
+	}
+	if m.TempC() >= hot {
+		t.Fatal("temperature did not fall at zero power")
+	}
+	if math.Abs(m.TempC()-m.TAmbientC) > 0.5 {
+		t.Fatalf("did not cool towards ambient: %v", m.TempC())
+	}
+}
+
+func TestThermalStabilityLongInterval(t *testing.T) {
+	// dt much larger than the time constant must not oscillate or blow up
+	// (the integrator sub-steps internally).
+	m := DefaultThermalModel()
+	m.CThermal = 0.1 // tau = 2.5 s
+	for i := 0; i < 20; i++ {
+		got := m.Advance(0.5, 10)
+		want := m.SteadyStateC(0.5)
+		if got < m.TAmbientC-1 || got > want+1 {
+			t.Fatalf("unstable integration: %v at step %d", got, i)
+		}
+	}
+}
+
+func TestThermalReset(t *testing.T) {
+	m := DefaultThermalModel()
+	m.Advance(1, 10)
+	m.Reset()
+	if m.TempC() != m.TAmbientC {
+		t.Fatalf("after reset: %v, want ambient", m.TempC())
+	}
+}
+
+func TestLeakageScale(t *testing.T) {
+	m := DefaultThermalModel()
+	// At the reference temperature the scale is exactly 1.
+	m.tempC, m.started = m.TRefC, true
+	if got := m.LeakageScale(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("scale at T_ref = %v, want 1", got)
+	}
+	// 10 K above reference: 1 + 10·0.012.
+	m.tempC = m.TRefC + 10
+	if got := m.LeakageScale(); math.Abs(got-1.12) > 1e-12 {
+		t.Fatalf("scale at T_ref+10 = %v, want 1.12", got)
+	}
+	// The scale clamps at zero rather than going negative.
+	m.tempC = -1000
+	if got := m.LeakageScale(); got != 0 {
+		t.Fatalf("scale at absurd cold = %v, want clamp 0", got)
+	}
+}
+
+func TestDeviceWithThermalModel(t *testing.T) {
+	dev := NewDevice(JetsonNanoTable(), DefaultPowerModel(), rand.New(rand.NewSource(1)))
+	dev.PowerNoiseW, dev.IPCNoiseRel = 0, 0
+	dev.Thermal = DefaultThermalModel()
+	dem := Demand{BaseCPI: 0.65, MPKI: 1.5, APKI: 100, MemLatencyNs: 80, Activity: 1.1}
+	dev.Load(newFixedWorkload(dem, 1e15))
+	dev.SetLevel(12)
+
+	first := dev.Step(0.5)
+	if first.TempC <= dev.Thermal.TAmbientC {
+		t.Fatalf("temperature %v did not rise above ambient", first.TempC)
+	}
+	var last Observation
+	for i := 0; i < 400; i++ {
+		last = dev.Step(0.5)
+	}
+	if last.TempC <= first.TempC {
+		t.Fatalf("device did not heat up: %v -> %v", first.TempC, last.TempC)
+	}
+	// Leakage feedback: power at the (hot) end exceeds power at the
+	// (cold) start for the identical operating point.
+	if last.TruePower <= first.TruePower {
+		t.Fatalf("leakage feedback missing: power %v -> %v", first.TruePower, last.TruePower)
+	}
+}
+
+func TestDeviceWithoutThermalModelReportsZeroTemp(t *testing.T) {
+	dev := NewDevice(JetsonNanoTable(), DefaultPowerModel(), rand.New(rand.NewSource(1)))
+	dev.Load(newFixedWorkload(Demand{BaseCPI: 1, APKI: 100, Activity: 1}, 1e12))
+	if obs := dev.Step(0.5); obs.TempC != 0 {
+		t.Fatalf("TempC = %v without a thermal model, want 0", obs.TempC)
+	}
+}

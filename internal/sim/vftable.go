@@ -1,0 +1,88 @@
+// Package sim implements the edge-device substrate the paper runs on: a
+// DVFS-capable microprocessor model with the NVIDIA Jetson Nano's 15
+// voltage/frequency levels, an analytic power model, a memory-latency-aware
+// performance model, performance counters (IPC, LLC miss rate, MPKI), and
+// Gaussian measurement noise.
+//
+// The real evaluation platform is two Jetson Nano boards (4× Cortex-A57,
+// shared clock, 102–1479 MHz). This package substitutes that hardware with a
+// model that exposes the identical observable surface to the power
+// controller — frequency, power, and counter readings per control interval —
+// and, critically, reproduces the property the paper's experiments rest on:
+// the power constraint P_crit intersects the frequency range at an
+// application-dependent level, so the optimal V/f level is workload-specific
+// and must be learned.
+package sim
+
+import "fmt"
+
+// VFLevel is one discrete voltage/frequency operating point.
+type VFLevel struct {
+	FreqMHz float64 // core clock in MHz
+	VoltV   float64 // rail voltage in volts
+}
+
+// VFTable is an ordered set of V/f levels, lowest frequency first.
+type VFTable struct {
+	levels []VFLevel
+}
+
+// JetsonNanoTable returns the 15 CPU DVFS operating points of the NVIDIA
+// Jetson Nano (102 MHz – 1479 MHz), the platform used in the paper's
+// evaluation. Voltages follow the board's roughly linear V/f relationship
+// between 0.80 V at the lowest and 1.23 V at the highest level.
+func JetsonNanoTable() *VFTable {
+	freqs := []float64{
+		102.0, 204.0, 306.0, 403.2, 518.4,
+		614.4, 710.4, 825.6, 921.6, 1036.8,
+		1132.8, 1224.0, 1326.0, 1428.0, 1479.0,
+	}
+	const vMin, vMax = 0.80, 1.23
+	fMax := freqs[len(freqs)-1]
+	levels := make([]VFLevel, len(freqs))
+	for i, f := range freqs {
+		levels[i] = VFLevel{
+			FreqMHz: f,
+			VoltV:   vMin + (vMax-vMin)*(f/fMax),
+		}
+	}
+	return &VFTable{levels: levels}
+}
+
+// NewVFTable builds a table from explicit levels, which must be non-empty
+// and sorted by strictly increasing frequency with positive voltages.
+func NewVFTable(levels []VFLevel) (*VFTable, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("sim: empty V/f table")
+	}
+	for i, l := range levels {
+		if l.FreqMHz <= 0 || l.VoltV <= 0 {
+			return nil, fmt.Errorf("sim: level %d has non-positive frequency or voltage", i)
+		}
+		if i > 0 && levels[i-1].FreqMHz >= l.FreqMHz {
+			return nil, fmt.Errorf("sim: level %d frequency %.1f MHz not above level %d", i, l.FreqMHz, i-1)
+		}
+	}
+	return &VFTable{levels: append([]VFLevel(nil), levels...)}, nil
+}
+
+// Len returns the number of levels K.
+func (t *VFTable) Len() int { return len(t.levels) }
+
+// Level returns the k-th operating point (0-based, lowest frequency first).
+func (t *VFTable) Level(k int) VFLevel {
+	if k < 0 || k >= len(t.levels) {
+		panic(fmt.Sprintf("sim: V/f level %d out of range [0,%d)", k, len(t.levels)))
+	}
+	return t.levels[k]
+}
+
+// MaxFreqMHz returns f_max, the highest frequency in the table.
+func (t *VFTable) MaxFreqMHz() float64 { return t.levels[len(t.levels)-1].FreqMHz }
+
+// MinFreqMHz returns the lowest frequency in the table.
+func (t *VFTable) MinFreqMHz() float64 { return t.levels[0].FreqMHz }
+
+// NormFreq returns Level(k).FreqMHz / MaxFreqMHz, the paper's performance
+// surrogate f/f_max for level k.
+func (t *VFTable) NormFreq(k int) float64 { return t.Level(k).FreqMHz / t.MaxFreqMHz() }

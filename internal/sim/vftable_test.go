@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJetsonNanoTableShape(t *testing.T) {
+	table := JetsonNanoTable()
+	if table.Len() != 15 {
+		t.Fatalf("Jetson Nano table has %d levels, want 15", table.Len())
+	}
+	if table.MinFreqMHz() != 102.0 {
+		t.Errorf("min frequency %v, want 102 MHz", table.MinFreqMHz())
+	}
+	if table.MaxFreqMHz() != 1479.0 {
+		t.Errorf("max frequency %v, want 1479 MHz", table.MaxFreqMHz())
+	}
+}
+
+func TestJetsonNanoTableMonotone(t *testing.T) {
+	table := JetsonNanoTable()
+	for k := 1; k < table.Len(); k++ {
+		prev, cur := table.Level(k-1), table.Level(k)
+		if cur.FreqMHz <= prev.FreqMHz {
+			t.Errorf("frequency not increasing at level %d", k)
+		}
+		if cur.VoltV <= prev.VoltV {
+			t.Errorf("voltage not increasing at level %d", k)
+		}
+	}
+}
+
+func TestJetsonNanoVoltageRange(t *testing.T) {
+	table := JetsonNanoTable()
+	lo := table.Level(0).VoltV
+	hi := table.Level(table.Len() - 1).VoltV
+	if hi != 1.23 {
+		t.Errorf("top voltage %v, want 1.23 V", hi)
+	}
+	// The linear V/f map gives 0.80 + 0.43·(102/1479) at the bottom.
+	want := 0.80 + 0.43*102.0/1479.0
+	if math.Abs(lo-want) > 1e-12 {
+		t.Errorf("bottom voltage %v, want %v", lo, want)
+	}
+}
+
+func TestNormFreq(t *testing.T) {
+	table := JetsonNanoTable()
+	if got := table.NormFreq(table.Len() - 1); got != 1 {
+		t.Errorf("top NormFreq = %v, want 1", got)
+	}
+	want := 102.0 / 1479.0
+	if got := table.NormFreq(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("bottom NormFreq = %v, want %v", got, want)
+	}
+}
+
+func TestLevelBoundsPanics(t *testing.T) {
+	table := JetsonNanoTable()
+	for _, k := range []int{-1, 15, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Level(%d) did not panic", k)
+				}
+			}()
+			table.Level(k)
+		}()
+	}
+}
+
+func TestNewVFTableValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		levels []VFLevel
+	}{
+		{"empty", nil},
+		{"zero frequency", []VFLevel{{FreqMHz: 0, VoltV: 1}}},
+		{"zero voltage", []VFLevel{{FreqMHz: 100, VoltV: 0}}},
+		{"non-increasing", []VFLevel{{FreqMHz: 200, VoltV: 0.8}, {FreqMHz: 200, VoltV: 0.9}}},
+		{"decreasing", []VFLevel{{FreqMHz: 300, VoltV: 0.8}, {FreqMHz: 200, VoltV: 0.9}}},
+	}
+	for _, c := range cases {
+		if _, err := NewVFTable(c.levels); err == nil {
+			t.Errorf("%s: NewVFTable succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestNewVFTableCopiesInput(t *testing.T) {
+	levels := []VFLevel{{FreqMHz: 100, VoltV: 0.8}, {FreqMHz: 200, VoltV: 0.9}}
+	table, err := NewVFTable(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels[0].FreqMHz = 999
+	if table.Level(0).FreqMHz != 100 {
+		t.Fatal("table retained caller's slice")
+	}
+}
+
+func TestJetsonNanoExactLevels(t *testing.T) {
+	// The published Jetson Nano CPU DVFS frequencies.
+	want := []float64{
+		102.0, 204.0, 306.0, 403.2, 518.4,
+		614.4, 710.4, 825.6, 921.6, 1036.8,
+		1132.8, 1224.0, 1326.0, 1428.0, 1479.0,
+	}
+	table := JetsonNanoTable()
+	for k, f := range want {
+		if got := table.Level(k).FreqMHz; got != f {
+			t.Errorf("level %d = %v MHz, want %v", k, got, f)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{4}, 4},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almost(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestStd(t *testing.T) {
+	if got := Std([]float64{5}); got != 0 {
+		t.Errorf("Std of single value = %v, want 0", got)
+	}
+	// Population std of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Std(xs); !almost(got, 2, 1e-12) {
+		t.Errorf("Std(%v) = %v, want 2", xs, got)
+	}
+	if got := Std([]float64{3, 3, 3}); !almost(got, 0, 1e-12) {
+		t.Errorf("Std of constant = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+}
+
+func TestMinEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min of empty slice did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max of empty slice did not panic")
+		}
+	}()
+	Max(nil)
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1.5, 2.5, -1}); !almost(got, 3, 1e-12) {
+		t.Errorf("Sum = %v, want 3", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{3}, 3},
+		{[]float64{3, 1}, 2},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); !almost(got, c.want, 1e-12) {
+			t.Errorf("Median(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("Percentile single = %v, want 7", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPercentDelta(t *testing.T) {
+	if got := PercentDelta(120, 100); !almost(got, 20, 1e-12) {
+		t.Errorf("PercentDelta(120,100) = %v, want 20", got)
+	}
+	if got := PercentDelta(80, 100); !almost(got, -20, 1e-12) {
+		t.Errorf("PercentDelta(80,100) = %v, want -20", got)
+	}
+	if got := PercentDelta(5, 0); got != 0 {
+		t.Errorf("PercentDelta with zero base = %v, want 0", got)
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	xs := []float64{1, 1, 1}
+	out := Smooth(xs, 0.5)
+	for i, v := range out {
+		if !almost(v, 1, 1e-12) {
+			t.Errorf("Smooth constant series: out[%d] = %v, want 1", i, v)
+		}
+	}
+	// alpha = 1 returns the input.
+	xs = []float64{1, 5, 2}
+	out = Smooth(xs, 1)
+	for i := range xs {
+		if out[i] != xs[i] {
+			t.Errorf("Smooth alpha=1: out[%d] = %v, want %v", i, out[i], xs[i])
+		}
+	}
+	// Smoothed values lie within the seen range.
+	out = Smooth([]float64{0, 10, 0, 10}, 0.3)
+	for i, v := range out {
+		if v < 0 || v > 10 {
+			t.Errorf("Smooth out of range at %d: %v", i, v)
+		}
+	}
+	if got := Smooth(nil, 0.5); len(got) != 0 {
+		t.Errorf("Smooth(nil) length %d, want 0", len(got))
+	}
+}
+
+func TestSmoothInvalidAlphaPanics(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Smooth with alpha %v did not panic", alpha)
+				}
+			}()
+			Smooth([]float64{1}, alpha)
+		}()
+	}
+}
+
+func TestRunningMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 1
+		r.Add(xs[i])
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", r.N(), len(xs))
+	}
+	if !almost(r.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("running mean %v != direct %v", r.Mean(), Mean(xs))
+	}
+	if !almost(r.Std(), Std(xs), 1e-9) {
+		t.Errorf("running std %v != direct %v", r.Std(), Std(xs))
+	}
+	if r.Min() != Min(xs) || r.Max() != Max(xs) {
+		t.Errorf("running extrema (%v, %v) != direct (%v, %v)", r.Min(), r.Max(), Min(xs), Max(xs))
+	}
+}
+
+func TestRunningZeroValue(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Std() != 0 || r.N() != 0 {
+		t.Errorf("zero Running not zeroed: %v", r.String())
+	}
+	r.Add(2)
+	if r.Std() != 0 {
+		t.Errorf("Std with one sample = %v, want 0", r.Std())
+	}
+	if r.Min() != 2 || r.Max() != 2 {
+		t.Errorf("extrema after one sample: [%v, %v], want [2, 2]", r.Min(), r.Max())
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var all, a, b Running
+	var xs []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()*10 - 5
+		xs = append(xs, x)
+		all.Add(x)
+		if i < 70 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if !almost(a.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged mean %v != %v", a.Mean(), all.Mean())
+	}
+	if !almost(a.Std(), all.Std(), 1e-9) {
+		t.Errorf("merged std %v != %v", a.Std(), all.Std())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merged extrema mismatch")
+	}
+	_ = xs
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Add(3)
+	before := a.String()
+	a.Merge(&b) // empty other: no-op
+	if a.String() != before {
+		t.Errorf("merge with empty changed aggregate: %s -> %s", before, a.String())
+	}
+	b.Merge(&a) // empty receiver adopts other
+	if b.N() != 2 || !almost(b.Mean(), 2, 1e-12) {
+		t.Errorf("empty receiver merge: %s", b.String())
+	}
+}
+
+// Property: for any data, Running matches the direct computation.
+func TestRunningProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			clean = append(clean, x)
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var r Running
+		for _, x := range clean {
+			r.Add(x)
+		}
+		scale := math.Max(1, math.Abs(Mean(clean)))
+		return almost(r.Mean(), Mean(clean), 1e-6*scale) && r.Min() == Min(clean) && r.Max() == Max(clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			clean = append(clean, x)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		return m >= Min(clean)-1e-9 && m <= Max(clean)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package trace records per-control-interval execution traces — the data a
+// real deployment would log for offline analysis: time, V/f level, power,
+// counters, chosen action, reward. Two sink formats are provided, CSV (for
+// spreadsheets/plotting) and JSON Lines (for programmatic pipelines), plus
+// a reader for round-tripping recorded traces.
+//
+// Traces are exactly the artefact the paper's threat model protects: a
+// power/counter time series fine-grained enough for activity inference and
+// power-analysis side channels. Keeping this machinery explicit makes the
+// privacy experiment's "raw trace bytes" concrete — one Entry is what the
+// central architecture ships per control interval.
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Entry is one control interval's record.
+type Entry struct {
+	Step     int     `json:"step"`
+	TimeS    float64 `json:"time_s"`
+	App      string  `json:"app"`
+	Level    int     `json:"level"`
+	FreqMHz  float64 `json:"freq_mhz"`
+	PowerW   float64 `json:"power_w"`
+	IPC      float64 `json:"ipc"`
+	MissRate float64 `json:"miss_rate"`
+	MPKI     float64 `json:"mpki"`
+	Reward   float64 `json:"reward"`
+}
+
+// Recorder receives entries; implementations differ in sink format.
+type Recorder interface {
+	Record(e Entry) error
+	// Flush forces buffered output to the underlying writer.
+	Flush() error
+}
+
+// csvHeader is the column order of the CSV format.
+var csvHeader = []string{
+	"step", "time_s", "app", "level", "freq_mhz",
+	"power_w", "ipc", "miss_rate", "mpki", "reward",
+}
+
+// CSVRecorder writes entries as CSV rows with a header.
+type CSVRecorder struct {
+	w          *csv.Writer
+	wroteFirst bool
+}
+
+// NewCSVRecorder returns a recorder writing CSV to w; the header row is
+// emitted with the first entry.
+func NewCSVRecorder(w io.Writer) *CSVRecorder {
+	return &CSVRecorder{w: csv.NewWriter(w)}
+}
+
+// Record implements Recorder.
+func (r *CSVRecorder) Record(e Entry) error {
+	if !r.wroteFirst {
+		if err := r.w.Write(csvHeader); err != nil {
+			return fmt.Errorf("trace: write header: %w", err)
+		}
+		r.wroteFirst = true
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	row := []string{
+		strconv.Itoa(e.Step), f(e.TimeS), e.App, strconv.Itoa(e.Level), f(e.FreqMHz),
+		f(e.PowerW), f(e.IPC), f(e.MissRate), f(e.MPKI), f(e.Reward),
+	}
+	if err := r.w.Write(row); err != nil {
+		return fmt.Errorf("trace: write row: %w", err)
+	}
+	return nil
+}
+
+// Flush implements Recorder.
+func (r *CSVRecorder) Flush() error {
+	r.w.Flush()
+	return r.w.Error()
+}
+
+// JSONLRecorder writes entries as one JSON object per line.
+type JSONLRecorder struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLRecorder returns a recorder writing JSON Lines to w.
+func NewJSONLRecorder(w io.Writer) *JSONLRecorder {
+	bw := bufio.NewWriter(w)
+	return &JSONLRecorder{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Record implements Recorder.
+func (r *JSONLRecorder) Record(e Entry) error {
+	if err := r.enc.Encode(e); err != nil {
+		return fmt.Errorf("trace: encode entry: %w", err)
+	}
+	return nil
+}
+
+// Flush implements Recorder.
+func (r *JSONLRecorder) Flush() error { return r.w.Flush() }
+
+// ReadCSV parses a trace produced by CSVRecorder.
+func ReadCSV(rd io.Reader) ([]Entry, error) {
+	records, err := csv.NewReader(rd).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, nil
+	}
+	if len(records[0]) != len(csvHeader) || records[0][0] != "step" {
+		return nil, fmt.Errorf("trace: unexpected header %v", records[0])
+	}
+	out := make([]Entry, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		e, err := parseCSVEntry(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", i+1, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func parseCSVEntry(rec []string) (Entry, error) {
+	if len(rec) != len(csvHeader) {
+		return Entry{}, fmt.Errorf("has %d fields, want %d", len(rec), len(csvHeader))
+	}
+	var e Entry
+	var err error
+	geti := func(s string) int {
+		if err != nil {
+			return 0
+		}
+		var v int
+		v, err = strconv.Atoi(s)
+		return v
+	}
+	getf := func(s string) float64 {
+		if err != nil {
+			return 0
+		}
+		var v float64
+		v, err = strconv.ParseFloat(s, 64)
+		return v
+	}
+	e.Step = geti(rec[0])
+	e.TimeS = getf(rec[1])
+	e.App = rec[2]
+	e.Level = geti(rec[3])
+	e.FreqMHz = getf(rec[4])
+	e.PowerW = getf(rec[5])
+	e.IPC = getf(rec[6])
+	e.MissRate = getf(rec[7])
+	e.MPKI = getf(rec[8])
+	e.Reward = getf(rec[9])
+	return e, err
+}
+
+// ReadJSONL parses a trace produced by JSONLRecorder.
+func ReadJSONL(rd io.Reader) ([]Entry, error) {
+	dec := json.NewDecoder(rd)
+	var out []Entry
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode jsonl entry %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}

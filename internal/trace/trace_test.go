@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleEntries() []Entry {
+	return []Entry{
+		{Step: 1, TimeS: 0.5, App: "fft", Level: 8, FreqMHz: 921.6, PowerW: 0.55, IPC: 1.31, MissRate: 0.05, MPKI: 8, Reward: 0.623},
+		{Step: 2, TimeS: 1.0, App: "fft", Level: 9, FreqMHz: 1036.8, PowerW: 0.64, IPC: 1.29, MissRate: 0.05, MPKI: 8, Reward: 0.14},
+		{Step: 3, TimeS: 1.5, App: "ocean", Level: 14, FreqMHz: 1479, PowerW: 0.49, IPC: 0.27, MissRate: 0.086, MPKI: 24.2, Reward: 1},
+	}
+}
+
+func entriesEqual(a, b Entry) bool {
+	close := func(x, y float64) bool { return math.Abs(x-y) < 1e-9 }
+	return a.Step == b.Step && a.App == b.App && a.Level == b.Level &&
+		close(a.TimeS, b.TimeS) && close(a.FreqMHz, b.FreqMHz) &&
+		close(a.PowerW, b.PowerW) && close(a.IPC, b.IPC) &&
+		close(a.MissRate, b.MissRate) && close(a.MPKI, b.MPKI) && close(a.Reward, b.Reward)
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewCSVRecorder(&buf)
+	for _, e := range sampleEntries() {
+		if err := r.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleEntries()
+	if len(got) != len(want) {
+		t.Fatalf("%d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !entriesEqual(got[i], want[i]) {
+			t.Errorf("entry %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSVHeaderOnce(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewCSVRecorder(&buf)
+	for _, e := range sampleEntries() {
+		if err := r.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Flush()
+	if n := strings.Count(buf.String(), "step,time_s"); n != 1 {
+		t.Fatalf("header appears %d times", n)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewJSONLRecorder(&buf)
+	for _, e := range sampleEntries() {
+		if err := r.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimRight(buf.String(), "\n"), "\n") + 1; lines != 3 {
+		t.Fatalf("%d JSONL lines, want 3", lines)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleEntries()
+	for i := range want {
+		if !entriesEqual(got[i], want[i]) {
+			t.Errorf("entry %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty read: %v, %v", got, err)
+	}
+}
+
+func TestReadCSVRejectsForeignHeader(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Fatal("foreign header accepted")
+	}
+}
+
+func TestReadCSVRejectsBadField(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewCSVRecorder(&buf)
+	r.Record(sampleEntries()[0])
+	r.Flush()
+	corrupted := strings.Replace(buf.String(), "921.6", "not-a-number", 1)
+	if _, err := ReadCSV(strings.NewReader(corrupted)); err == nil {
+		t.Fatal("corrupt numeric field accepted")
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"step\":1}\nnot-json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// Package workload models the paper's evaluation applications: twelve
+// single-threaded programs named after the SPLASH-2 suite, each defined by a
+// compute/memory characteristic profile and a sequence of execution phases.
+//
+// The experiments do not depend on the literal SPLASH-2 instruction streams
+// — they depend on workload *diversity*: compute-bound applications exceed
+// the power budget at mid frequencies while memory-bound applications stay
+// inside it even at f_max, so the optimal V/f level is application-specific
+// and a policy trained on one class misbehaves on the other. Each synthetic
+// application reproduces the published qualitative character of its
+// namesake (ocean and radix are memory-dominated, the water codes and lu are
+// compute-dominated, etc.) through its BaseCPI/MPKI/activity profile.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedpower/internal/sim"
+)
+
+// Phase is one execution phase of an application, covering a fraction of its
+// total instructions and scaling the application's base characteristics.
+// Real programs alternate between compute kernels and data-movement phases;
+// phases make the agent's performance-counter state informative within a
+// single application.
+type Phase struct {
+	Fraction float64 // share of total instructions, phases sum to 1
+	CPIMul   float64 // multiplier on BaseCPI during this phase
+	MPKIMul  float64 // multiplier on MPKI during this phase
+}
+
+// Spec is the static description of an application.
+type Spec struct {
+	Name         string
+	BaseCPI      float64 // cycles/instruction with a perfect LLC
+	MPKI         float64 // LLC misses per kilo-instruction (phase-averaged base)
+	APKI         float64 // LLC accesses per kilo-instruction
+	MemLatencyNs float64 // DRAM latency seen on a miss
+	Activity     float64 // dynamic-power activity factor
+	TotalInstr   float64 // instructions to retire for one complete run
+	Phases       []Phase // execution phases; empty means one uniform phase
+}
+
+// Validate reports an error when the spec is internally inconsistent.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec with empty name")
+	}
+	if s.BaseCPI <= 0 || s.APKI <= 0 || s.MemLatencyNs < 0 || s.MPKI < 0 {
+		return fmt.Errorf("workload %s: non-positive characteristic", s.Name)
+	}
+	if s.MPKI > s.APKI {
+		return fmt.Errorf("workload %s: MPKI %.1f exceeds APKI %.1f", s.Name, s.MPKI, s.APKI)
+	}
+	if s.Activity <= 0 {
+		return fmt.Errorf("workload %s: non-positive activity", s.Name)
+	}
+	if s.TotalInstr <= 0 {
+		return fmt.Errorf("workload %s: non-positive instruction count", s.Name)
+	}
+	if len(s.Phases) > 0 {
+		sum := 0.0
+		for i, p := range s.Phases {
+			if p.Fraction <= 0 || p.CPIMul <= 0 || p.MPKIMul < 0 {
+				return fmt.Errorf("workload %s: invalid phase %d", s.Name, i)
+			}
+			sum += p.Fraction
+		}
+		if sum < 0.999 || sum > 1.001 {
+			return fmt.Errorf("workload %s: phase fractions sum to %.3f, want 1", s.Name, sum)
+		}
+	}
+	return nil
+}
+
+// App is a running instance of a Spec. It implements sim.Workload.
+type App struct {
+	spec     Spec
+	executed float64
+}
+
+// NewApp instantiates spec, panicking on an invalid spec (specs are
+// programmer-supplied constants, so an invalid one is a bug, not input).
+func NewApp(spec Spec) *App {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if len(spec.Phases) == 0 {
+		spec.Phases = []Phase{{Fraction: 1, CPIMul: 1, MPKIMul: 1}}
+	}
+	return &App{spec: spec}
+}
+
+// Name returns the application name.
+func (a *App) Name() string { return a.spec.Name }
+
+// Spec returns the application's static description.
+func (a *App) Spec() Spec { return a.spec }
+
+// phase returns the phase covering the current progress point.
+func (a *App) phase() Phase {
+	progress := a.executed / a.spec.TotalInstr
+	acc := 0.0
+	for _, p := range a.spec.Phases {
+		acc += p.Fraction
+		if progress < acc {
+			return p
+		}
+	}
+	return a.spec.Phases[len(a.spec.Phases)-1]
+}
+
+// Demand implements sim.Workload, applying the current phase's multipliers
+// to the base characteristics.
+func (a *App) Demand() sim.Demand {
+	p := a.phase()
+	mpki := a.spec.MPKI * p.MPKIMul
+	if mpki > a.spec.APKI {
+		mpki = a.spec.APKI
+	}
+	return sim.Demand{
+		BaseCPI:      a.spec.BaseCPI * p.CPIMul,
+		MPKI:         mpki,
+		APKI:         a.spec.APKI,
+		MemLatencyNs: a.spec.MemLatencyNs,
+		Activity:     a.spec.Activity,
+	}
+}
+
+// Advance implements sim.Workload.
+func (a *App) Advance(instr float64) {
+	if instr < 0 {
+		panic(fmt.Sprintf("workload %s: Advance by negative %v", a.spec.Name, instr))
+	}
+	a.executed += instr
+}
+
+// Remaining implements sim.Workload.
+func (a *App) Remaining() float64 { return a.spec.TotalInstr - a.executed }
+
+// Progress returns the executed fraction in [0, 1].
+func (a *App) Progress() float64 {
+	p := a.executed / a.spec.TotalInstr
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Reset implements sim.Workload.
+func (a *App) Reset() { a.executed = 0 }
+
+var _ sim.Workload = (*App)(nil)
+
+// RandomSpec draws a valid synthetic application spec uniformly from the
+// physically plausible envelope: CPI 0.5–1.2, MPKI 0–30, APKI covering the
+// misses, activity 0.7–1.3, one to four phases. Intended for fuzz-style
+// property tests and load generation; every returned spec passes Validate.
+func RandomSpec(rng *rand.Rand, name string) Spec {
+	s := Spec{
+		Name:         name,
+		BaseCPI:      0.5 + rng.Float64()*0.7,
+		MPKI:         rng.Float64() * 30,
+		MemLatencyNs: 60 + rng.Float64()*40,
+		Activity:     0.7 + rng.Float64()*0.6,
+		TotalInstr:   (0.5 + rng.Float64()*3) * 1e10,
+	}
+	s.APKI = s.MPKI + 50 + rng.Float64()*250
+	phases := 1 + rng.Intn(4)
+	if phases > 1 {
+		remaining := 1.0
+		for i := 0; i < phases; i++ {
+			frac := remaining / float64(phases-i)
+			if i < phases-1 {
+				frac *= 0.6 + rng.Float64()*0.8
+				if frac > remaining-0.01*float64(phases-i-1) {
+					frac = remaining - 0.01*float64(phases-i-1)
+				}
+			} else {
+				frac = remaining
+			}
+			remaining -= frac
+			s.Phases = append(s.Phases, Phase{
+				Fraction: frac,
+				CPIMul:   0.8 + rng.Float64()*0.4,
+				MPKIMul:  0.5 + rng.Float64()*1.5,
+			})
+		}
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: RandomSpec generated an invalid spec: %v", err))
+	}
+	return s
+}
+
+// Stream feeds a device an endless sequence of applications drawn from a
+// fixed set: the training environment of §IV, where each device repeatedly
+// executes its assigned applications in shuffled order ("applications and
+// their execution order are unknown at design time"). When every app in the
+// set has run, the order is reshuffled.
+type Stream struct {
+	specs []Spec
+	order []int
+	pos   int
+	rng   *rand.Rand
+}
+
+// NewStream creates a stream over specs using rng for shuffling. It panics
+// on an empty spec set.
+func NewStream(rng *rand.Rand, specs []Spec) *Stream {
+	if len(specs) == 0 {
+		panic("workload: NewStream with no specs")
+	}
+	s := &Stream{specs: append([]Spec(nil), specs...), rng: rng}
+	s.order = rng.Perm(len(specs))
+	return s
+}
+
+// Next returns a fresh App instance for the next application in the shuffled
+// rotation.
+func (s *Stream) Next() *App {
+	if s.pos == len(s.order) {
+		s.order = s.rng.Perm(len(s.specs))
+		s.pos = 0
+	}
+	app := NewApp(s.specs[s.order[s.pos]])
+	s.pos++
+	return app
+}

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedpower/internal/sim"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Name: "test", BaseCPI: 0.7, MPKI: 5, APKI: 150,
+		MemLatencyNs: 80, Activity: 1.0, TotalInstr: 1e9,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.BaseCPI = 0 },
+		func(s *Spec) { s.APKI = 0 },
+		func(s *Spec) { s.MPKI = -1 },
+		func(s *Spec) { s.MPKI = s.APKI + 1 },
+		func(s *Spec) { s.MemLatencyNs = -1 },
+		func(s *Spec) { s.Activity = 0 },
+		func(s *Spec) { s.TotalInstr = 0 },
+		func(s *Spec) { s.Phases = []Phase{{Fraction: 0.5, CPIMul: 1, MPKIMul: 1}} }, // sums to 0.5
+		func(s *Spec) { s.Phases = []Phase{{Fraction: 1, CPIMul: 0, MPKIMul: 1}} },
+		func(s *Spec) { s.Phases = []Phase{{Fraction: 1, CPIMul: 1, MPKIMul: -1}} },
+	}
+	for i, mutate := range mutations {
+		s := validSpec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d validated although invalid", i)
+		}
+	}
+}
+
+func TestNewAppPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewApp with invalid spec did not panic")
+		}
+	}()
+	s := validSpec()
+	s.TotalInstr = -1
+	NewApp(s)
+}
+
+func TestAppLifecycle(t *testing.T) {
+	app := NewApp(validSpec())
+	if app.Name() != "test" {
+		t.Errorf("Name = %q", app.Name())
+	}
+	if app.Remaining() != 1e9 {
+		t.Errorf("Remaining = %v, want 1e9", app.Remaining())
+	}
+	if app.Progress() != 0 {
+		t.Errorf("initial Progress = %v", app.Progress())
+	}
+	app.Advance(4e8)
+	if math.Abs(app.Progress()-0.4) > 1e-12 {
+		t.Errorf("Progress = %v, want 0.4", app.Progress())
+	}
+	app.Advance(7e8) // past the end
+	if app.Remaining() > 0 {
+		t.Errorf("Remaining = %v after overrun", app.Remaining())
+	}
+	if app.Progress() != 1 {
+		t.Errorf("Progress clamps at 1, got %v", app.Progress())
+	}
+	app.Reset()
+	if app.Remaining() != 1e9 || app.Progress() != 0 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	app := NewApp(validSpec())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	app.Advance(-1)
+}
+
+func TestUniformPhaseWhenUnspecified(t *testing.T) {
+	app := NewApp(validSpec())
+	d := app.Demand()
+	if d.BaseCPI != 0.7 || d.MPKI != 5 {
+		t.Fatalf("uniform-phase demand %+v", d)
+	}
+}
+
+func TestPhaseTransitions(t *testing.T) {
+	s := validSpec()
+	s.Phases = []Phase{
+		{Fraction: 0.5, CPIMul: 1.0, MPKIMul: 1.0},
+		{Fraction: 0.5, CPIMul: 2.0, MPKIMul: 3.0},
+	}
+	app := NewApp(s)
+	d := app.Demand()
+	if d.BaseCPI != 0.7 || d.MPKI != 5 {
+		t.Fatalf("phase 1 demand %+v", d)
+	}
+	app.Advance(0.6e9) // into phase 2
+	d = app.Demand()
+	if math.Abs(d.BaseCPI-1.4) > 1e-12 || math.Abs(d.MPKI-15) > 1e-12 {
+		t.Fatalf("phase 2 demand %+v, want CPI 1.4 MPKI 15", d)
+	}
+	// Static characteristics are phase-independent.
+	if d.APKI != 150 || d.MemLatencyNs != 80 || d.Activity != 1.0 {
+		t.Fatalf("phase-independent fields changed: %+v", d)
+	}
+}
+
+func TestDemandMPKIClampedToAPKI(t *testing.T) {
+	s := validSpec()
+	s.MPKI = 100
+	s.Phases = []Phase{{Fraction: 1, CPIMul: 1, MPKIMul: 2}} // 200 > APKI 150
+	app := NewApp(s)
+	if d := app.Demand(); d.MPKI > d.APKI {
+		t.Fatalf("MPKI %v exceeds APKI %v", d.MPKI, d.APKI)
+	}
+}
+
+func TestDemandBeyondEndUsesLastPhase(t *testing.T) {
+	s := validSpec()
+	s.Phases = []Phase{
+		{Fraction: 0.5, CPIMul: 1, MPKIMul: 1},
+		{Fraction: 0.5, CPIMul: 2, MPKIMul: 1},
+	}
+	app := NewApp(s)
+	app.Advance(2e9) // far past the end
+	if d := app.Demand(); d.BaseCPI != 1.4 {
+		t.Fatalf("post-completion demand %+v, want last phase", d)
+	}
+}
+
+func TestAppImplementsSimWorkload(t *testing.T) {
+	var _ sim.Workload = NewApp(validSpec())
+}
+
+func TestStreamRotationCoversAll(t *testing.T) {
+	specs := SPLASH2()
+	s := NewStream(rand.New(rand.NewSource(1)), specs)
+	seen := map[string]int{}
+	for i := 0; i < len(specs)*3; i++ {
+		seen[s.Next().Name()]++
+	}
+	for _, spec := range specs {
+		if seen[spec.Name] != 3 {
+			t.Errorf("app %s appeared %d times in 3 rotations, want 3", spec.Name, seen[spec.Name])
+		}
+	}
+}
+
+func TestStreamReturnsFreshInstances(t *testing.T) {
+	s := NewStream(rand.New(rand.NewSource(1)), []Spec{validSpec()})
+	a := s.Next()
+	a.Advance(5e8)
+	b := s.Next()
+	if b.Remaining() != 1e9 {
+		t.Fatal("Stream returned a partially executed instance")
+	}
+	if a == b {
+		t.Fatal("Stream reused the same App pointer")
+	}
+}
+
+func TestStreamShufflesBetweenRotations(t *testing.T) {
+	specs := SPLASH2()
+	s := NewStream(rand.New(rand.NewSource(3)), specs)
+	order := func() []string {
+		names := make([]string, len(specs))
+		for i := range names {
+			names[i] = s.Next().Name()
+		}
+		return names
+	}
+	first, second := order(), order()
+	same := true
+	for i := range first {
+		if first[i] != second[i] {
+			same = false
+			break
+		}
+	}
+	// With 12! permutations, two identical consecutive shuffles indicate a
+	// broken reshuffle (probability ~2e-9 under correct behaviour).
+	if same {
+		t.Fatal("consecutive rotations identical — reshuffle missing")
+	}
+}
+
+func TestNewStreamEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStream with no specs did not panic")
+		}
+	}()
+	NewStream(rand.New(rand.NewSource(1)), nil)
+}

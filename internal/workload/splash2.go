@@ -1,0 +1,160 @@
+package workload
+
+import "fmt"
+
+// The twelve evaluation applications of §IV, named after the SPLASH-2
+// programs the paper runs on the Jetson Nano boards. Characteristics are
+// synthetic but honour each namesake's published qualitative profile:
+//
+//   - ocean and radix are memory-dominated (high MPKI): their IPC collapses
+//     at high frequency so even f_max stays inside the 0.6 W budget;
+//   - the water codes, lu and fmm are compute-dominated (high ILP, high
+//     activity): they cross the budget near the middle of the V/f range;
+//   - fft, raytrace, volrend, radiosity, barnes and cholesky sit in between.
+//
+// MemLatencyNs is 80 ns for all applications — it is a property of the
+// board's LPDDR4, not of the program. Instruction totals are sized so that a
+// complete run under the per-app optimal level takes roughly 20–30 simulated
+// seconds, the scale of the paper's Table III execution times.
+
+// DRAMLatencyNs is the LPDDR4 access latency applied to every application.
+const DRAMLatencyNs = 80
+
+// SPLASH2 returns the specs of the twelve evaluation applications, in the
+// paper's enumeration order.
+func SPLASH2() []Spec {
+	return []Spec{
+		{
+			Name: "fft", BaseCPI: 0.70, MPKI: 8.0, APKI: 160, MemLatencyNs: DRAMLatencyNs,
+			Activity: 1.00, TotalInstr: 2.2e10,
+			Phases: []Phase{
+				{Fraction: 0.40, CPIMul: 0.90, MPKIMul: 0.55}, // butterfly compute
+				{Fraction: 0.20, CPIMul: 1.15, MPKIMul: 2.10}, // matrix transpose
+				{Fraction: 0.40, CPIMul: 0.90, MPKIMul: 0.65},
+			},
+		},
+		{
+			Name: "lu", BaseCPI: 0.60, MPKI: 3.0, APKI: 120, MemLatencyNs: DRAMLatencyNs,
+			Activity: 1.15, TotalInstr: 2.9e10,
+			Phases: []Phase{
+				{Fraction: 0.70, CPIMul: 0.95, MPKIMul: 0.80}, // dense factorisation
+				{Fraction: 0.30, CPIMul: 1.10, MPKIMul: 1.50}, // pivot/exchange
+			},
+		},
+		{
+			Name: "raytrace", BaseCPI: 0.85, MPKI: 6.0, APKI: 200, MemLatencyNs: DRAMLatencyNs,
+			Activity: 0.90, TotalInstr: 2.3e10,
+			Phases: []Phase{
+				{Fraction: 0.50, CPIMul: 1.00, MPKIMul: 1.30}, // BVH traversal
+				{Fraction: 0.50, CPIMul: 0.95, MPKIMul: 0.70}, // shading
+			},
+		},
+		{
+			Name: "volrend", BaseCPI: 0.80, MPKI: 7.0, APKI: 190, MemLatencyNs: DRAMLatencyNs,
+			Activity: 0.90, TotalInstr: 2.2e10,
+			Phases: []Phase{
+				{Fraction: 0.60, CPIMul: 1.00, MPKIMul: 1.20}, // ray casting
+				{Fraction: 0.40, CPIMul: 0.92, MPKIMul: 0.70}, // compositing
+			},
+		},
+		{
+			Name: "water-ns", BaseCPI: 0.65, MPKI: 1.5, APKI: 100, MemLatencyNs: DRAMLatencyNs,
+			Activity: 1.10, TotalInstr: 3.0e10,
+			Phases: []Phase{
+				{Fraction: 0.80, CPIMul: 1.00, MPKIMul: 1.00}, // force computation
+				{Fraction: 0.20, CPIMul: 1.08, MPKIMul: 1.80}, // neighbour update
+			},
+		},
+		{
+			Name: "water-sp", BaseCPI: 0.68, MPKI: 2.0, APKI: 105, MemLatencyNs: DRAMLatencyNs,
+			Activity: 1.05, TotalInstr: 2.9e10,
+			Phases: []Phase{
+				{Fraction: 0.75, CPIMul: 1.00, MPKIMul: 1.00},
+				{Fraction: 0.25, CPIMul: 1.06, MPKIMul: 1.60},
+			},
+		},
+		{
+			Name: "ocean", BaseCPI: 0.80, MPKI: 22.0, APKI: 280, MemLatencyNs: DRAMLatencyNs,
+			Activity: 0.85, TotalInstr: 1.1e10,
+			Phases: []Phase{
+				{Fraction: 0.55, CPIMul: 1.00, MPKIMul: 1.10}, // grid relaxation sweeps
+				{Fraction: 0.45, CPIMul: 0.95, MPKIMul: 0.85},
+			},
+		},
+		{
+			Name: "radix", BaseCPI: 0.70, MPKI: 18.0, APKI: 260, MemLatencyNs: DRAMLatencyNs,
+			Activity: 0.80, TotalInstr: 1.2e10,
+			Phases: []Phase{
+				{Fraction: 0.50, CPIMul: 1.00, MPKIMul: 1.20}, // permutation scatter
+				{Fraction: 0.50, CPIMul: 0.95, MPKIMul: 0.80}, // histogram
+			},
+		},
+		{
+			Name: "fmm", BaseCPI: 0.70, MPKI: 2.5, APKI: 110, MemLatencyNs: DRAMLatencyNs,
+			Activity: 1.00, TotalInstr: 2.8e10,
+			Phases: []Phase{
+				{Fraction: 0.65, CPIMul: 0.95, MPKIMul: 0.90}, // multipole expansion
+				{Fraction: 0.35, CPIMul: 1.10, MPKIMul: 1.40}, // tree traversal
+			},
+		},
+		{
+			Name: "radiosity", BaseCPI: 0.90, MPKI: 5.0, APKI: 180, MemLatencyNs: DRAMLatencyNs,
+			Activity: 0.85, TotalInstr: 2.1e10,
+			Phases: []Phase{
+				{Fraction: 0.50, CPIMul: 1.00, MPKIMul: 1.25},
+				{Fraction: 0.50, CPIMul: 0.95, MPKIMul: 0.75},
+			},
+		},
+		{
+			Name: "barnes", BaseCPI: 0.75, MPKI: 4.0, APKI: 150, MemLatencyNs: DRAMLatencyNs,
+			Activity: 0.95, TotalInstr: 2.6e10,
+			Phases: []Phase{
+				{Fraction: 0.30, CPIMul: 1.12, MPKIMul: 1.70}, // tree build
+				{Fraction: 0.70, CPIMul: 0.95, MPKIMul: 0.75}, // force evaluation
+			},
+		},
+		{
+			Name: "cholesky", BaseCPI: 0.75, MPKI: 10.0, APKI: 210, MemLatencyNs: DRAMLatencyNs,
+			Activity: 0.95, TotalInstr: 1.9e10,
+			Phases: []Phase{
+				{Fraction: 0.40, CPIMul: 1.05, MPKIMul: 1.40}, // supernode assembly
+				{Fraction: 0.60, CPIMul: 0.95, MPKIMul: 0.75}, // dense updates
+			},
+		},
+	}
+}
+
+// Names returns the twelve application names in enumeration order.
+func Names() []string {
+	specs := SPLASH2()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ByName returns the spec with the given name from the SPLASH-2 set, or an
+// error naming the unknown application.
+func ByName(name string) (Spec, error) {
+	for _, s := range SPLASH2() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// ByNames resolves a list of names against the SPLASH-2 set, failing on the
+// first unknown name.
+func ByNames(names ...string) ([]Spec, error) {
+	specs := make([]Spec, 0, len(names))
+	for _, n := range names {
+		s, err := ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}

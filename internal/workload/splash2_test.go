@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+
+	"fedpower/internal/sim"
+)
+
+func TestSPLASH2HasTwelveValidApps(t *testing.T) {
+	specs := SPLASH2()
+	if len(specs) != 12 {
+		t.Fatalf("%d applications, want 12", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("app %s invalid: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate app name %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestSPLASH2PaperNames(t *testing.T) {
+	// Exactly the twelve applications of §IV.
+	want := []string{
+		"fft", "lu", "raytrace", "volrend", "water-ns", "water-sp",
+		"ocean", "radix", "fmm", "radiosity", "barnes", "cholesky",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() returned %d entries", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "ocean" {
+		t.Fatalf("ByName returned %s", s.Name)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown app resolved")
+	}
+}
+
+func TestByNames(t *testing.T) {
+	specs, err := ByNames("fft", "lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Name != "fft" || specs[1].Name != "lu" {
+		t.Fatalf("ByNames returned %+v", specs)
+	}
+	if _, err := ByNames("fft", "nope"); err == nil {
+		t.Fatal("unknown app in list resolved")
+	}
+}
+
+func TestMemoryVsComputeClassification(t *testing.T) {
+	// The experiments rely on ocean/radix being memory-dominated and the
+	// water codes / lu being compute-dominated. Verify through the model,
+	// not the raw numbers: optimal level under 0.6 W must be f_max for the
+	// memory class and strictly lower for the compute class.
+	table := sim.JetsonNanoTable()
+	pm := sim.DefaultPowerModel()
+	optimal := func(name string) int {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := NewApp(spec)
+		best := 0
+		for k := 0; k < table.Len(); k++ {
+			lv := table.Level(k)
+			d := app.Demand()
+			if pm.Total(lv.VoltV, lv.FreqMHz, sim.IPC(d, lv.FreqMHz), d.Activity) <= 0.6 {
+				best = k
+			}
+		}
+		return best
+	}
+	for _, name := range []string{"ocean", "radix"} {
+		if got := optimal(name); got != table.Len()-1 {
+			t.Errorf("%s optimal level %d, want f_max (memory-bound)", name, got)
+		}
+	}
+	for _, name := range []string{"water-ns", "water-sp", "lu", "fmm"} {
+		if got := optimal(name); got > 10 {
+			t.Errorf("%s optimal level %d, want mid-range (compute-bound)", name, got)
+		}
+	}
+}
+
+func TestExecutionTimesInPaperRange(t *testing.T) {
+	// At each app's optimal level, a full run should take roughly the
+	// paper's Table III execution-time scale (tens of seconds), so that
+	// absolute numbers in the reproduced tables are comparable.
+	table := sim.JetsonNanoTable()
+	pm := sim.DefaultPowerModel()
+	for _, spec := range SPLASH2() {
+		app := NewApp(spec)
+		d := app.Demand()
+		best := 0
+		for k := 0; k < table.Len(); k++ {
+			lv := table.Level(k)
+			if pm.Total(lv.VoltV, lv.FreqMHz, sim.IPC(d, lv.FreqMHz), d.Activity) <= 0.6 {
+				best = k
+			}
+		}
+		ips := sim.IPS(d, table.Level(best).FreqMHz)
+		execT := spec.TotalInstr / ips
+		if execT < 10 || execT > 60 {
+			t.Errorf("%s executes in %.1f s at its optimum, want 10-60 s", spec.Name, execT)
+		}
+	}
+}
+
+func TestSharedDRAMLatency(t *testing.T) {
+	// Memory latency is a board property, identical across applications.
+	for _, s := range SPLASH2() {
+		if s.MemLatencyNs != DRAMLatencyNs {
+			t.Errorf("%s has memory latency %v, want %v", s.Name, s.MemLatencyNs, float64(DRAMLatencyNs))
+		}
+	}
+}
+
+func TestPhaseFractionsSumToOne(t *testing.T) {
+	for _, s := range SPLASH2() {
+		sum := 0.0
+		for _, p := range s.Phases {
+			sum += p.Fraction
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s phase fractions sum to %v", s.Name, sum)
+		}
+	}
+}

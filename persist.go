@@ -1,0 +1,56 @@
+package fedpower
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// Model files use the same float32 representation as the federated wire
+// format, prefixed with a small validated header so that loading a
+// truncated or foreign file fails loudly instead of yielding garbage
+// weights:
+//
+//	offset 0: magic "FPM1" (4 bytes)
+//	offset 4: parameter count (uint32, little-endian)
+//	offset 8: parameters (count × float32, little-endian)
+
+var modelMagic = [4]byte{'F', 'P', 'M', '1'}
+
+// SaveModel writes a policy-model parameter vector to path. The paper's
+// 687-parameter network produces a 2756-byte file.
+func SaveModel(path string, params []float64) error {
+	var buf bytes.Buffer
+	buf.Write(modelMagic[:])
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(params)))
+	buf.Write(cnt[:])
+	buf.Write(EncodeModel(params))
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("fedpower: save model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model file written by SaveModel and returns the
+// parameter vector.
+func LoadModel(path string) ([]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fedpower: load model: %w", err)
+	}
+	if len(raw) < 8 {
+		return nil, fmt.Errorf("fedpower: model file %s too short (%d bytes)", path, len(raw))
+	}
+	if !bytes.Equal(raw[:4], modelMagic[:]) {
+		return nil, fmt.Errorf("fedpower: %s is not a fedpower model file", path)
+	}
+	count := int(binary.LittleEndian.Uint32(raw[4:8]))
+	payload := raw[8:]
+	params := make([]float64, count)
+	if err := DecodeModel(params, payload); err != nil {
+		return nil, fmt.Errorf("fedpower: model file %s: %w", path, err)
+	}
+	return params, nil
+}

@@ -1,0 +1,106 @@
+package fedpower_test
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fedpower"
+)
+
+func TestSaveLoadModelRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.fpm")
+
+	table := fedpower.JetsonNanoTable()
+	ctrl := fedpower.NewController(fedpower.DefaultControllerParams(table.Len()), rand.New(rand.NewSource(1)))
+	params := ctrl.ModelParams()
+
+	if err := fedpower.SaveModel(path, params); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 8+4*687 {
+		t.Fatalf("model file is %d bytes, want %d", info.Size(), 8+4*687)
+	}
+
+	loaded, err := fedpower.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(params) {
+		t.Fatalf("loaded %d params, want %d", len(loaded), len(params))
+	}
+	for i := range params {
+		if math.Abs(loaded[i]-params[i]) > 1e-6*(1+math.Abs(params[i])) {
+			t.Fatalf("param %d: %v -> %v", i, params[i], loaded[i])
+		}
+	}
+
+	// The loaded snapshot drives a controller identically (up to float32
+	// quantisation of the weights).
+	restored := fedpower.NewController(fedpower.DefaultControllerParams(table.Len()), rand.New(rand.NewSource(2)))
+	restored.SetModelParams(loaded)
+	state := []float64{0.5, 0.4, 0.6, 0.1, 0.2}
+	if restored.GreedyAction(state) != ctrl.GreedyAction(state) {
+		t.Fatal("restored controller disagrees with the original")
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+
+	short := filepath.Join(dir, "short.fpm")
+	if err := os.WriteFile(short, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fedpower.LoadModel(short); err == nil {
+		t.Error("truncated file loaded")
+	}
+
+	wrongMagic := filepath.Join(dir, "magic.fpm")
+	if err := os.WriteFile(wrongMagic, append([]byte("NOPE"), make([]byte, 8)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fedpower.LoadModel(wrongMagic); err == nil {
+		t.Error("foreign magic loaded")
+	}
+
+	truncatedPayload := filepath.Join(dir, "trunc.fpm")
+	if err := fedpower.SaveModel(truncatedPayload, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(truncatedPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(truncatedPayload, raw[:len(raw)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fedpower.LoadModel(truncatedPayload); err == nil {
+		t.Error("truncated payload loaded")
+	}
+
+	if _, err := fedpower.LoadModel(filepath.Join(dir, "missing.fpm")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestSaveModelEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.fpm")
+	if err := fedpower.SaveModel(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := fedpower.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 0 {
+		t.Fatalf("loaded %d params from an empty model", len(loaded))
+	}
+}
