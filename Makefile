@@ -1,0 +1,27 @@
+# Convenience targets; `make check` is the same gate CI runs.
+
+.PHONY: check build vet lint test race fuzz
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+lint:
+	go run ./cmd/fedlint ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/fed/... ./internal/experiment/...
+
+# Extended fuzzing of the federation wire format (seed corpus always runs
+# as part of `make test`).
+fuzz:
+	go test -fuzz=FuzzWireRoundTrip -fuzztime=30s ./internal/fed/
+	go test -fuzz=FuzzReadMessage -fuzztime=30s ./internal/fed/

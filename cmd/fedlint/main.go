@@ -1,0 +1,115 @@
+// fedlint runs the repo-native static-analysis suite (internal/lint) over
+// the module and exits non-zero on findings. It enforces the invariants the
+// compiler cannot: seeded-RNG determinism, simulated-time purity,
+// error-checked wire serialization, tolerance-based float comparison, and
+// supervised goroutine launches.
+//
+// Usage:
+//
+//	go run ./cmd/fedlint ./...          # whole module
+//	go run ./cmd/fedlint ./internal/fed # findings under one tree only
+//	go run ./cmd/fedlint -list          # describe the analyzer suite
+//
+// Arguments select which directories' findings are reported; the whole
+// module is always loaded and type-checked so cross-package types resolve.
+// Exit status: 0 clean, 1 findings, 2 load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fedpower/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fedlint [-list] [path ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := lint.DefaultSuite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.LoadModule(cwd)
+	if err != nil {
+		fatal(err)
+	}
+
+	filters, err := pathFilters(cwd, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := lint.Run(pkgs, suite)
+	shown := 0
+	for _, d := range diags {
+		if !filters.match(d.Pos.Filename) {
+			continue
+		}
+		fmt.Println(d)
+		shown++
+	}
+	if shown > 0 {
+		fmt.Fprintf(os.Stderr, "fedlint: %d finding(s)\n", shown)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedlint:", err)
+	os.Exit(2)
+}
+
+// filterSet restricts reported findings to files under selected roots.
+// Empty means everything.
+type filterSet []string
+
+// pathFilters resolves command-line path arguments. "./..." (or a bare
+// "...") selects the whole module; "dir/..." selects a subtree; a plain
+// directory selects that subtree too, since analyzers are package-scoped.
+func pathFilters(cwd string, args []string) (filterSet, error) {
+	var fs filterSet
+	for _, a := range args {
+		trimmed := strings.TrimSuffix(strings.TrimSuffix(a, "..."), "/")
+		if trimmed == "" || trimmed == "." {
+			return nil, nil // whole module
+		}
+		abs, err := filepath.Abs(filepath.Join(cwd, trimmed))
+		if err != nil {
+			return nil, err
+		}
+		if st, err := os.Stat(abs); err != nil || !st.IsDir() {
+			// A typo'd path must not report a vacuous all-clear.
+			return nil, fmt.Errorf("path %s is not a directory", a)
+		}
+		fs = append(fs, abs)
+	}
+	return fs, nil
+}
+
+func (fs filterSet) match(file string) bool {
+	if len(fs) == 0 {
+		return true
+	}
+	for _, root := range fs {
+		if file == root || strings.HasPrefix(file, root+string(filepath.Separator)) {
+			return true
+		}
+	}
+	return false
+}

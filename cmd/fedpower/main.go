@@ -20,6 +20,7 @@ import (
 
 	"fedpower"
 	"fedpower/internal/experiment"
+	"fedpower/internal/stats"
 )
 
 // csvDir, when non-empty, receives one CSV file per experiment.
@@ -35,12 +36,13 @@ func writeCSV(name string, write func(io.Writer) error) error {
 	if err != nil {
 		return err
 	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
 	}
-	if err := f.Close(); err != nil {
-		return err
+	if cerr != nil {
+		return fmt.Errorf("close %s: %w", path, cerr)
 	}
 	fmt.Printf("(csv written to %s)\n", path)
 	return nil
@@ -580,7 +582,7 @@ func runVerify(o fedpower.Options) error {
 	params := fedpower.DefaultControllerParams(table.Len())
 	ctrl := fedpower.NewController(params, rand.New(rand.NewSource(1)))
 	check("15 Jetson Nano V/f levels, 102-1479 MHz",
-		table.Len() == 15 && table.MinFreqMHz() == 102 && table.MaxFreqMHz() == 1479,
+		table.Len() == 15 && stats.ApproxEqual(table.MinFreqMHz(), 102) && stats.ApproxEqual(table.MaxFreqMHz(), 1479),
 		fmt.Sprintf("%d levels", table.Len()))
 	check("policy network has 687 parameters", ctrl.NumParams() == 687,
 		fmt.Sprintf("%d", ctrl.NumParams()))
@@ -589,7 +591,8 @@ func runVerify(o fedpower.Options) error {
 	check("replay buffer ~100 kB", fedpower.NewReplayBuffer(4000).Footprint(fedpower.StateDim) == 112000,
 		fmt.Sprintf("%d B", fedpower.NewReplayBuffer(4000).Footprint(fedpower.StateDim)))
 	rp := params.Reward
-	check("reward Eq.(4) anchors", rp.Reward(1, 0.5) == 1 && rp.Reward(1, 0.65) == 0 && rp.Reward(1, 0.9) == -1,
+	check("reward Eq.(4) anchors",
+		stats.ApproxEqual(rp.Reward(1, 0.5), 1) && stats.ApproxEqual(rp.Reward(1, 0.65), 0) && stats.ApproxEqual(rp.Reward(1, 0.9), -1),
 		"r(1,0.5)=1 r(1,0.65)=0 r(1,0.9)=-1")
 
 	// Behavioural claims (reduced budget, deterministic seed).

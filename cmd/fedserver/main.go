@@ -42,7 +42,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
+	// Teardown at process exit; Serve's return value already decided the
+	// protocol outcome.
+	defer func() { _ = srv.Close() }()
 	log.Printf("listening on %s for %d devices, %d rounds, %d model parameters (%d B per transfer)",
 		srv.Addr(), *devices, *rounds, len(initial), fedpower.TransferSize(len(initial)))
 

@@ -158,7 +158,7 @@ type deviceStats struct {
 }
 
 func (s deviceStats) AvgPowerW() float64 {
-	if s.TimeS == 0 {
+	if s.TimeS == 0 { //fedlint:ignore floateq exact zero guards the division below
 		return 0
 	}
 	return s.EnergyJ / s.TimeS

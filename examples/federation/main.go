@@ -36,7 +36,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
+	// Teardown at process exit; the protocol outcome is already decided.
+	defer func() { _ = srv.Close() }()
 	fmt.Printf("aggregation server on %s — %d rounds, %d B per model transfer\n\n",
 		srv.Addr(), rounds, fedpower.TransferSize(len(initial)))
 
@@ -117,7 +118,9 @@ func device(server, name string, seed int64, appNames []string) error {
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
+	// Every frame is flushed per round; a close error at teardown carries
+	// no signal for the already-completed training.
+	defer func() { _ = conn.Close() }()
 
 	_, err = conn.Participate(fedpower.FederatedClientFunc(func(round int, global []float64) ([]float64, error) {
 		ctrl.SetModelParams(global)

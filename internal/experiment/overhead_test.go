@@ -42,3 +42,31 @@ func TestRunOverheadDefaultsDecisionCount(t *testing.T) {
 		t.Fatal("zero-decision call did not fall back")
 	}
 }
+
+// TestRunOverheadWithFakeClock pins the clock-injection seam demanded by
+// the noclock analyzer: with a deterministic clock the latency figures are
+// exact functions of the tick size, independent of the host.
+func TestRunOverheadWithFakeClock(t *testing.T) {
+	o := DefaultOptions()
+	const decisions = 500
+	tick := time.Millisecond
+	now := time.Unix(0, 0)
+	clock := func() time.Time {
+		now = now.Add(tick)
+		return now
+	}
+	res := RunOverheadWithClock(o, decisions, clock)
+	// Each latency block brackets its loop with exactly two clock reads,
+	// so the measured total is one tick regardless of host speed.
+	if want := tick / decisions; res.DecisionLatency != want {
+		t.Errorf("decision latency = %v with fake clock, want %v", res.DecisionLatency, want)
+	}
+	if want := tick / (decisions / 10); res.UpdateLatency != want {
+		t.Errorf("update latency = %v with fake clock, want %v", res.UpdateLatency, want)
+	}
+	interval := time.Duration(o.IntervalS * float64(time.Second))
+	wantPct := float64(tick/decisions) / float64(interval) * 100
+	if res.OverheadPct != wantPct {
+		t.Errorf("overhead pct = %v, want %v", res.OverheadPct, wantPct)
+	}
+}

@@ -10,6 +10,25 @@
 // and sockets — the deployment shape of the paper, one process per edge
 // device — exchanging float32 parameter frames whose size matches the
 // paper's reported 2.8 kB per transfer.
+//
+// # Goroutine ownership
+//
+// The TCP transport follows strict ownership rules, machine-checked where
+// possible by the golaunch analyzer (cmd/fedlint):
+//
+//   - Server.Serve owns every connection. Worker goroutines are launched
+//     only inside Serve/broadcast, one per client per phase, always joined
+//     through a sync.WaitGroup before the phase's results are read; none
+//     outlives its round, and all loop state a worker needs (client index,
+//     connection, round number) is passed as arguments at launch, never
+//     captured.
+//   - Workers write only to their own index of a pre-sized results slice
+//     (errs[i], sent[i], locals[i]); the WaitGroup join is the
+//     happens-before edge that publishes those writes to Serve.
+//   - Shared byte counters (bytesSent, bytesRecv) are mutated only under
+//     Server.mu, and only by the Serve goroutine after the join.
+//   - The client side (Conn) is single-goroutine by construction: Dial,
+//     Participate and Close must be called from one goroutine.
 package fed
 
 import (

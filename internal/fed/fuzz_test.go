@@ -1,0 +1,121 @@
+package fed
+
+// Fuzz-style property tests for the federation wire format — the only data
+// that crosses device boundaries, so the decoder must be total: every
+// well-formed message round-trips exactly and every malformed byte stream
+// returns an error instead of panicking or over-allocating. Complements the
+// deterministic cases in wire_test.go the way internal/sim/fuzz_test.go
+// complements the simulator's unit tests.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"fedpower/internal/nn"
+)
+
+// paramsFromBytes reinterprets fuzz input as a float32 parameter vector —
+// the exact value set representable on the wire, including NaN, ±Inf and
+// subnormals.
+func paramsFromBytes(data []byte) []float64 {
+	params := make([]float64, len(data)/4)
+	for i := range params {
+		params[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:])))
+	}
+	return params
+}
+
+// sameWireValue compares two parameters as their wire representation:
+// identical float32 bit patterns, with every NaN payload considered equal
+// (bit-level NaN payloads are not preserved across float32↔float64
+// conversion on all platforms).
+func sameWireValue(a, b float64) bool {
+	fa, fb := float32(a), float32(b)
+	if math.IsNaN(float64(fa)) || math.IsNaN(float64(fb)) {
+		return math.IsNaN(float64(fa)) && math.IsNaN(float64(fb))
+	}
+	return math.Float32bits(fa) == math.Float32bits(fb)
+}
+
+// FuzzWireRoundTrip checks decode(encode(x)) == x for arbitrary message
+// kinds, rounds and float32 parameter payloads.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint32(1), []byte{})
+	f.Add(uint8(2), uint32(100), []byte{0, 0, 128, 63})             // [1.0]
+	f.Add(uint8(3), uint32(0), []byte{0, 0, 192, 255, 0, 0, 128, 127}) // [NaN, +Inf]
+	f.Add(uint8(2), uint32(1<<31), []byte{1, 0, 0, 0, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, kind uint8, round uint32, payload []byte) {
+		if kind != msgModel && kind != msgUpdate && kind != msgDone {
+			kind = msgModel // round-trip needs a valid kind; totality is FuzzReadMessage's job
+		}
+		in := message{kind: kind, round: int(round), params: paramsFromBytes(payload)}
+
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		n, err := writeMessage(w, in)
+		if err != nil {
+			t.Fatalf("writeMessage: %v", err)
+		}
+		if n != buf.Len() {
+			t.Fatalf("writeMessage reported %d bytes, wrote %d", n, buf.Len())
+		}
+		if want := TransferSize(len(in.params)); len(in.params) > 0 && n != want {
+			t.Fatalf("on-wire size %d, want TransferSize=%d", n, want)
+		}
+
+		out, err := readMessage(bufio.NewReader(bytes.NewReader(buf.Bytes())))
+		if err != nil {
+			t.Fatalf("readMessage of a freshly encoded message: %v", err)
+		}
+		if out.kind != in.kind {
+			t.Fatalf("kind %d -> %d", in.kind, out.kind)
+		}
+		if uint32(out.round) != round {
+			t.Fatalf("round %d -> %d", round, out.round)
+		}
+		if len(out.params) != len(in.params) {
+			t.Fatalf("param count %d -> %d", len(in.params), len(out.params))
+		}
+		for i := range in.params {
+			if !sameWireValue(in.params[i], out.params[i]) {
+				t.Fatalf("param %d: %v -> %v", i, in.params[i], out.params[i])
+			}
+		}
+	})
+}
+
+// FuzzReadMessage feeds arbitrary bytes to the decoder: it must either
+// return a structurally valid message or an error — never panic, and never
+// allocate beyond the maxWireParams bound.
+func FuzzReadMessage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})                   // unknown kind 0
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0, 0})                   // model, 0 params
+	f.Add([]byte{2, 1, 0, 0, 0, 1, 0, 0, 0})                   // update, 1 param, truncated payload
+	f.Add([]byte{3, 0, 0, 0, 0, 255, 255, 255, 255})           // done, absurd count
+	f.Add(append([]byte{1, 1, 0, 0, 0, 1, 0, 0, 0}, 0, 0, 128, 63)) // complete 1-param model
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := readMessage(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return // malformed input must error, and did
+		}
+		if m.kind != msgModel && m.kind != msgUpdate && m.kind != msgDone {
+			t.Fatalf("decoder accepted unknown message kind %d", m.kind)
+		}
+		if len(m.params) > maxWireParams {
+			t.Fatalf("decoder exceeded the parameter bound: %d params", len(m.params))
+		}
+		// A successfully decoded message must itself round-trip.
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if _, err := writeMessage(w, m); err != nil {
+			t.Fatalf("re-encode of decoded message: %v", err)
+		}
+		if want := headerSize + nn.WireSize(len(m.params)); buf.Len() != want {
+			t.Fatalf("re-encoded size %d, want %d", buf.Len(), want)
+		}
+	})
+}

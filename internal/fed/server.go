@@ -82,7 +82,9 @@ func (s *Server) Serve(initial []float64, hook RoundHook) ([]float64, error) {
 	conns := make([]*serverConn, 0, s.numClients)
 	defer func() {
 		for _, c := range conns {
-			c.conn.Close()
+			// Best-effort teardown: the protocol outcome is already
+			// decided by the time the connections are torn down.
+			_ = c.conn.Close()
 		}
 	}()
 	for len(conns) < s.numClients {
@@ -112,7 +114,7 @@ func (s *Server) Serve(initial []float64, hook RoundHook) ([]float64, error) {
 		errs := make([]error, len(conns))
 		for i, c := range conns {
 			wg.Add(1)
-			go func(i int, c *serverConn) {
+			go func(i, round int, c *serverConn) {
 				defer wg.Done()
 				if s.RoundTimeout > 0 {
 					if err := c.conn.SetReadDeadline(time.Now().Add(s.RoundTimeout)); err != nil {
@@ -138,7 +140,7 @@ func (s *Server) Serve(initial []float64, hook RoundHook) ([]float64, error) {
 					return
 				}
 				locals[i] = m.params
-			}(i, c)
+			}(i, round, c)
 		}
 		wg.Wait()
 		for _, err := range errs {

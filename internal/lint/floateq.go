@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands in non-test
+// code. The training loop accumulates rewards and gradients in float64,
+// the wire format rounds through float32, and the baselines discretise
+// continuous readings — after any of that, exact equality is a coin flip
+// that differs across architectures and optimisation levels, which is fatal
+// for a reproduction whose headline property is bit-identical replication
+// on one host and tolerance-checked agreement everywhere else. Compare with
+// the helpers in internal/stats (stats.ApproxEqual / stats.ApproxEqualTol)
+// or, where an exact comparison is genuinely the contract (e.g. guarding a
+// division by exact zero), suppress with a documented //fedlint:ignore.
+type FloatEq struct{}
+
+func (FloatEq) Name() string { return "floateq" }
+
+func (FloatEq) Doc() string {
+	return "flag ==/!= between floating-point operands; use stats.ApproxEqual or a documented ignore"
+}
+
+func (FloatEq) Check(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(pkg, bin.X) && !isFloatExpr(pkg, bin.Y) {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "floateq",
+				Pos:      pkg.Fset.Position(bin.OpPos),
+				Message: fmt.Sprintf("floating-point %s comparison; use stats.ApproxEqual (or document an exact-comparison contract with //fedlint:ignore)",
+					bin.Op),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func isFloatExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}

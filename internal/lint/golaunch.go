@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLaunch audits `go` statements in library packages. The TCP transport is
+// the only place the reproduction runs concurrent code, and its correctness
+// argument rests on two disciplines: a goroutine never captures an
+// enclosing loop variable (iteration state is passed as an argument, so the
+// data flowing into each launch is explicit), and every goroutine is
+// supervised — it signals completion through a sync.WaitGroup or a done
+// channel visible at the launch site, so no round can leak workers.
+//
+// Both checks are heuristics over the launch site; a deliberate
+// fire-and-forget goroutine can be allowlisted with a documented
+// //fedlint:ignore golaunch directive. Commands and examples are exempt
+// (their goroutines die with the process).
+type GoLaunch struct{}
+
+func (GoLaunch) Name() string { return "golaunch" }
+
+func (GoLaunch) Doc() string {
+	return "flag goroutine launches in library packages that capture loop variables or lack WaitGroup/done-channel supervision"
+}
+
+func (GoLaunch) Check(pkg *Package) []Diagnostic {
+	if pkg.IsCommand() {
+		return nil
+	}
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			pos := pkg.Fset.Position(gs.Pos())
+			lit, _ := gs.Call.Fun.(*ast.FuncLit)
+
+			if lit != nil {
+				if captured := capturedLoopVars(pkg, lit, stack); len(captured) > 0 {
+					out = append(out, Diagnostic{
+						Analyzer: "golaunch",
+						Pos:      pos,
+						Message: "goroutine captures loop variable " + captured[0] +
+							"; pass it as an argument so the launch's inputs are explicit",
+					})
+				}
+			}
+			if !supervisedLaunch(pkg, gs, lit) {
+				out = append(out, Diagnostic{
+					Analyzer: "golaunch",
+					Pos:      pos,
+					Message: "goroutine has no sync.WaitGroup or done-channel in scope; " +
+						"unsupervised workers can leak past the round that launched them",
+				})
+			}
+		})
+	}
+	return out
+}
+
+// capturedLoopVars returns the names of enclosing-loop iteration variables
+// referenced inside the goroutine's function literal body.
+func capturedLoopVars(pkg *Package, lit *ast.FuncLit, stack []ast.Node) []string {
+	loopVars := make(map[types.Object]bool)
+	addDef := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	for _, anc := range stack {
+		switch loop := anc.(type) {
+		case *ast.RangeStmt:
+			addDef(loop.Key)
+			if loop.Value != nil {
+				addDef(loop.Value)
+			}
+		case *ast.ForStmt:
+			if assign, ok := loop.Init.(*ast.AssignStmt); ok && assign.Tok == token.DEFINE {
+				for _, lhs := range assign.Lhs {
+					addDef(lhs)
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return nil
+	}
+	var captured []string
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil && loopVars[obj] && !seen[obj] {
+			seen[obj] = true
+			captured = append(captured, id.Name)
+		}
+		return true
+	})
+	return captured
+}
+
+// supervisedLaunch reports whether the goroutine visibly signals its
+// completion: its body references a sync.WaitGroup, sends on or closes a
+// channel, or — for launches of named functions — a WaitGroup or channel is
+// passed as an argument.
+func supervisedLaunch(pkg *Package, gs *ast.GoStmt, lit *ast.FuncLit) bool {
+	for _, arg := range gs.Call.Args {
+		if tv, ok := pkg.Info.Types[arg]; ok && (isWaitGroup(tv.Type) || isChannel(tv.Type)) {
+			return true
+		}
+	}
+	if lit == nil {
+		return false
+	}
+	supervised := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if supervised {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil && isWaitGroup(obj.Type()) {
+				supervised = true
+			}
+		case *ast.SendStmt:
+			supervised = true
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					supervised = true
+				}
+			}
+		}
+		return true
+	})
+	return supervised
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+func isChannel(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

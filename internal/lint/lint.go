@@ -1,0 +1,206 @@
+// Package lint is fedpower's repo-native static-analysis framework. It
+// enforces the invariants the Go compiler cannot: seeded-RNG determinism
+// (replicated experiment runs must be bit-identical), error-checked
+// serialization on the federated wire paths (the only data that crosses
+// device boundaries, per the paper's privacy claim), and disciplined
+// goroutine launches in the TCP transport.
+//
+// The framework is deliberately stdlib-only (go/ast, go/parser, go/types;
+// no golang.org/x/tools dependency): analyzers receive fully type-checked
+// packages and report position-annotated diagnostics. cmd/fedlint runs the
+// default suite over the module and exits non-zero on findings, and a
+// self-check test keeps `go test ./...` red whenever a regression slips in.
+//
+// Every analyzer honours the suppression directive
+//
+//	//fedlint:ignore [analyzer[,analyzer...]] reason
+//
+// placed on the flagged line or the line directly above it. An ignore
+// without an analyzer list suppresses every analyzer on that line. In-repo
+// suppressions must carry a reason; the directive exists for the rare case
+// where the invariant is deliberately, documentedly violated (for example
+// an exact float comparison guarding a division by zero).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a concrete source position.
+type Diagnostic struct {
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string
+	// Pos locates the offending expression or statement.
+	Pos token.Position
+	// Message states the violated invariant and the sanctioned fix.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer checks one invariant over a type-checked package.
+type Analyzer interface {
+	// Name is the short identifier used in output and ignore directives.
+	Name() string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc() string
+	// Check returns every violation found in pkg.
+	Check(pkg *Package) []Diagnostic
+}
+
+// DefaultSuite returns the full fedpower analyzer suite in output order.
+func DefaultSuite() []Analyzer {
+	return []Analyzer{
+		NoRand{},
+		NoClock{},
+		WireErr{},
+		FloatEq{},
+		GoLaunch{},
+	}
+}
+
+// Run executes every analyzer over every package, drops findings suppressed
+// by //fedlint:ignore directives, and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range analyzers {
+			for _, d := range a.Check(pkg) {
+				if ignores.suppresses(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ignoreDirective is one parsed //fedlint:ignore comment.
+type ignoreDirective struct {
+	// analyzers lists the suppressed analyzer names; empty means all.
+	analyzers []string
+}
+
+func (d ignoreDirective) covers(analyzer string) bool {
+	if len(d.analyzers) == 0 {
+		return true
+	}
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreSet maps file -> line -> directive for one package.
+type ignoreSet map[string]map[int]ignoreDirective
+
+// suppresses reports whether a directive on the diagnostic's line or the
+// line directly above it covers the diagnostic's analyzer.
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if dir, ok := lines[line]; ok && dir.covers(d.Analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//fedlint:ignore"
+
+// knownAnalyzers is consulted when parsing a directive: the first token
+// after the prefix scopes the ignore only when it names real analyzers,
+// otherwise it is the start of the free-form reason.
+var knownAnalyzers = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range DefaultSuite() {
+		m[a.Name()] = true
+	}
+	return m
+}()
+
+func collectIgnores(pkg *Package) ignoreSet {
+	set := make(ignoreSet)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				dir, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]ignoreDirective)
+					set[pos.Filename] = lines
+				}
+				lines[pos.Line] = dir
+			}
+		}
+	}
+	return set
+}
+
+func parseIgnore(text string) (ignoreDirective, bool) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return ignoreDirective{}, false
+	}
+	rest := strings.TrimPrefix(text, ignorePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return ignoreDirective{}, false // e.g. //fedlint:ignoreXYZ
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return ignoreDirective{}, true
+	}
+	names := strings.Split(fields[0], ",")
+	for _, n := range names {
+		if !knownAnalyzers[n] {
+			// First token is not an analyzer list; the whole rest is the
+			// reason and the directive applies to every analyzer.
+			return ignoreDirective{}, true
+		}
+	}
+	return ignoreDirective{analyzers: names}, true
+}
+
+// inspectWithStack walks root in depth-first order like ast.Inspect while
+// maintaining the ancestor stack; stack[len(stack)-1] is the node itself.
+func inspectWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		visit(n, stack)
+		return true
+	})
+}

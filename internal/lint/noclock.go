@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// NoClock forbids reading the wall clock in the simulated-time packages.
+// internal/sim advances a virtual clock in fixed control intervals, and
+// internal/core, internal/nn and internal/experiment must be pure functions
+// of their inputs plus injected randomness — a time.Now or time.Sleep in
+// any of them silently couples results to the host's scheduler and defeats
+// bit-identical replication. internal/fed (a real TCP transport with
+// deadlines) and the cmd/ and examples/ binaries are exempt.
+//
+// Calls are the violation, not references: passing time.Now as a func
+// value across an API boundary (e.g. experiment.RunOverheadWithClock) is
+// the sanctioned injection seam, because tests can substitute a fake clock.
+type NoClock struct{}
+
+// noClockPackages are the import-path suffixes (relative to the module
+// path) where wall-clock access is forbidden.
+var noClockPackages = []string{
+	"/internal/sim",
+	"/internal/core",
+	"/internal/nn",
+	"/internal/experiment",
+}
+
+// clockFuncs are the time package functions that read or wait on the wall
+// clock. Pure constructors and conversions (time.Duration, time.Unix) are
+// allowed.
+var clockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func (NoClock) Name() string { return "noclock" }
+
+func (NoClock) Doc() string {
+	return "forbid wall-clock calls (time.Now, time.Sleep, ...) in simulated-time packages; inject a clock at the API boundary"
+}
+
+func (NoClock) Check(pkg *Package) []Diagnostic {
+	covered := false
+	for _, suffix := range noClockPackages {
+		if strings.HasSuffix(pkg.Path, suffix) {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return nil
+	}
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, pkgPath := packageSelector(pkg, call.Fun)
+			if sel == nil || pkgPath != "time" || !clockFuncs[sel.Sel.Name] {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "noclock",
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Message: fmt.Sprintf("time.%s call in simulated-time package %s; simulation must be deterministic — inject a clock value instead",
+					sel.Sel.Name, pkg.Path),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// NoRand forbids calling the global, package-level generators of math/rand
+// (and math/rand/v2): rand.Intn, rand.Float64, rand.Shuffle, rand.Seed and
+// friends all consume a process-wide source, so any call makes a run depend
+// on everything else that touched that source — and on nothing the
+// experiment harness can seed. Replicated runs must be bit-identical
+// (internal/experiment/replicate asserts this), so randomness may only flow
+// through an injected *rand.Rand built via rand.New(rand.NewSource(seed)).
+// Constructing generators (rand.New, rand.NewSource, rand.NewZipf) is
+// therefore allowed; drawing from the shared one is not.
+type NoRand struct{}
+
+// globalRandFuncs are the package-level functions of math/rand and
+// math/rand/v2 that read or reseed the shared process-wide source.
+var globalRandFuncs = map[string]bool{
+	// math/rand
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true,
+	// math/rand/v2 additions
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"UintN": true, "Uint32N": true, "Uint64N": true, "Uint": true,
+}
+
+func (NoRand) Name() string { return "norand" }
+
+func (NoRand) Doc() string {
+	return "forbid the global math/rand source; randomness must be an injected *rand.Rand so runs replicate bit-identically"
+}
+
+func (NoRand) Check(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, pkgPath := packageSelector(pkg, call.Fun)
+			if sel == nil || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") {
+				return true
+			}
+			if !globalRandFuncs[sel.Sel.Name] {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "norand",
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Message: fmt.Sprintf("call to global rand.%s breaks seeded determinism; inject a *rand.Rand (rand.New(rand.NewSource(seed))) instead",
+					sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// packageSelector returns (sel, importPath) when expr is a selector on an
+// imported package (e.g. rand.Intn -> "math/rand"), or (nil, "").
+func packageSelector(pkg *Package, expr ast.Expr) (*ast.SelectorExpr, string) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil, ""
+	}
+	return sel, pn.Imported().Path()
+}

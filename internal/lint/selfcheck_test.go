@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepositoryIsLintClean runs the full analyzer suite over this module,
+// exactly like `go run ./cmd/fedlint ./...`. It is the regression gate: any
+// new global-rand call, wall-clock read in a simulated-time package,
+// swallowed wire error, exact float comparison, or unsupervised goroutine
+// fails `go test ./...` with the offending position.
+func TestRepositoryIsLintClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(wd)
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module walker is missing code", len(pkgs))
+	}
+	diags := Run(pkgs, DefaultSuite())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("%d fedlint finding(s); fix them or add a documented //fedlint:ignore", len(diags))
+	}
+}
+
+// TestLoadModuleCoversKnownPackages guards the walker itself: if directory
+// discovery silently broke, the self-check above would pass vacuously.
+func TestLoadModuleCoversKnownPackages(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(wd)
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	byPath := make(map[string]*Package)
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for _, want := range []string{
+		"fedpower",
+		"fedpower/internal/fed",
+		"fedpower/internal/nn",
+		"fedpower/internal/sim",
+		"fedpower/internal/experiment",
+		"fedpower/internal/lint",
+		"fedpower/cmd/fedlint",
+		"fedpower/cmd/fedpower",
+		"fedpower/examples/federation",
+	} {
+		p, ok := byPath[want]
+		if !ok {
+			t.Errorf("package %s not loaded", want)
+			continue
+		}
+		if len(p.Files) == 0 {
+			t.Errorf("package %s loaded with no files", want)
+		}
+		if _, err := os.Stat(filepath.Join(p.Dir)); err != nil {
+			t.Errorf("package %s dir: %v", want, err)
+		}
+	}
+	if cmdPkg := byPath["fedpower/cmd/fedlint"]; cmdPkg != nil && !cmdPkg.IsCommand() {
+		t.Error("cmd/fedlint must classify as a command")
+	}
+	if libPkg := byPath["fedpower/internal/fed"]; libPkg != nil && libPkg.IsCommand() {
+		t.Error("internal/fed must classify as a library")
+	}
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WireErr flags silently discarded errors from I/O-shaped calls — Write,
+// Read, Close, Flush and encode/decode functions. The federated wire format
+// (internal/fed, internal/nn) is the only data that crosses device
+// boundaries, and the CSV exporters are the evidence trail of every figure;
+// a swallowed short write or close error turns either into silent data
+// corruption. A call discards its error when it appears as a bare
+// statement, or behind defer/go. Assigning the error to the blank
+// identifier (`_ = f.Close()`) is a visible, reviewable decision and is
+// allowed; not binding it at all is not.
+//
+// Receivers whose Write cannot fail by contract (*bytes.Buffer,
+// *strings.Builder) are exempt to keep the signal clean.
+type WireErr struct{}
+
+// wireErrExact are flagged callee names matched exactly; additionally any
+// name containing "Encode" or "Decode" is flagged.
+var wireErrExact = map[string]bool{
+	"Write": true, "WriteAll": true, "WriteString": true, "WriteByte": true,
+	"Read": true, "ReadFull": true, "Close": true, "Flush": true,
+}
+
+func (WireErr) Name() string { return "wireerr" }
+
+func (WireErr) Doc() string {
+	return "flag discarded errors from Write/Read/Close/Flush/encode/decode calls on the wire and CSV paths"
+}
+
+func (WireErr) Check(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	report := func(call *ast.CallExpr, how string) {
+		name, ok := wireErrCallee(call)
+		if !ok {
+			return
+		}
+		if !errorDiscardRelevant(pkg, call) {
+			return
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "wireerr",
+			Pos:      pkg.Fset.Position(call.Pos()),
+			Message: fmt.Sprintf("%s discards the error from %s; check it or assign it to _ explicitly",
+				how, name),
+		})
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					report(call, "statement")
+				}
+			case *ast.DeferStmt:
+				report(st.Call, "defer")
+			case *ast.GoStmt:
+				report(st.Call, "go statement")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// wireErrCallee returns the display name of the called function when its
+// name is in scope for this analyzer.
+func wireErrCallee(call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return "", false
+	}
+	if wireErrExact[name] || strings.Contains(name, "Encode") || strings.Contains(name, "Decode") {
+		return name, true
+	}
+	return "", false
+}
+
+// errorDiscardRelevant reports whether the call actually returns an error
+// (per the type checker) and is not on an exempt never-fails receiver.
+func errorDiscardRelevant(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	if !resultsIncludeError(tv.Type) {
+		return false
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if rtv, ok := pkg.Info.Types[sel.X]; ok && neverFailsWriter(rtv.Type) {
+			return false
+		}
+	}
+	return true
+}
+
+func resultsIncludeError(t types.Type) bool {
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}
+
+// neverFailsWriter reports receiver types whose Write/WriteString contract
+// guarantees a nil error.
+func neverFailsWriter(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	return full == "bytes.Buffer" || full == "strings.Builder"
+}

@@ -203,7 +203,7 @@ func (n *Network) Backward(gradOut []float64, grad []float64) {
 		gb := grad[n.bOff[l] : n.bOff[l]+nout]
 		for j := 0; j < nout; j++ {
 			d := delta[j]
-			if d == 0 {
+			if d == 0 { //fedlint:ignore floateq exact zero skip (ReLU-dead units) is a pure optimisation; any nonzero d must contribute
 				continue
 			}
 			gb[j] += d
@@ -220,7 +220,7 @@ func (n *Network) Backward(gradOut []float64, grad []float64) {
 		prev := make([]float64, nin)
 		for j := 0; j < nout; j++ {
 			d := delta[j]
-			if d == 0 {
+			if d == 0 { //fedlint:ignore floateq exact zero skip (ReLU-dead units) is a pure optimisation; any nonzero d must contribute
 				continue
 			}
 			row := w[j*nin : (j+1)*nin]

@@ -33,7 +33,7 @@ func (s *SGD) Step(params, grad []float64) {
 	if len(params) != len(grad) {
 		panic(fmt.Sprintf("nn: SGD.Step length mismatch: %d vs %d", len(params), len(grad)))
 	}
-	if s.Momentum == 0 {
+	if s.Momentum == 0 { //fedlint:ignore floateq zero is the exact "momentum disabled" sentinel, not a computed value
 		for i := range params {
 			params[i] -= s.LR * grad[i]
 		}

@@ -189,7 +189,7 @@ type Stats struct {
 // AvgIPS returns the mean instructions per second, or 0 before any
 // execution.
 func (s Stats) AvgIPS() float64 {
-	if s.TimeS == 0 {
+	if s.TimeS == 0 { //fedlint:ignore floateq exact zero guards the division below
 		return 0
 	}
 	return s.Instr / s.TimeS
@@ -197,7 +197,7 @@ func (s Stats) AvgIPS() float64 {
 
 // AvgPowerW returns the mean power draw, or 0 before any execution.
 func (s Stats) AvgPowerW() float64 {
-	if s.TimeS == 0 {
+	if s.TimeS == 0 { //fedlint:ignore floateq exact zero guards the division below
 		return 0
 	}
 	return s.EnergyJ / s.TimeS

@@ -120,10 +120,40 @@ func Percentile(xs []float64, p float64) float64 {
 // Positive means value exceeds base. It returns 0 when base is 0 to keep
 // report tables well-defined.
 func PercentDelta(value, base float64) float64 {
-	if base == 0 {
+	if base == 0 { //fedlint:ignore floateq exact zero guards the division below
 		return 0
 	}
 	return (value - base) / base * 100
+}
+
+// DefaultTol is the combined absolute/relative tolerance of ApproxEqual:
+// loose enough to absorb the float32 round trip of the federated wire
+// format (~1e-7 relative) plus accumulation error, tight enough to reject
+// any genuinely different reward or frequency reading.
+const DefaultTol = 1e-6
+
+// ApproxEqual reports whether a and b agree within DefaultTol. It is the
+// sanctioned replacement for == between floats (enforced by the floateq
+// analyzer): exact float equality is representation-dependent and breaks
+// across compilers, FMA contraction and the wire format's float32 round
+// trip.
+func ApproxEqual(a, b float64) bool { return ApproxEqualTol(a, b, DefaultTol) }
+
+// ApproxEqualTol reports whether |a-b| <= tol·max(1, |a|, |b|): absolute
+// tolerance near zero, relative tolerance for large magnitudes. NaN equals
+// nothing; infinities are equal only to themselves.
+func ApproxEqualTol(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { //fedlint:ignore floateq exact hit short-circuit also handles equal infinities
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // an infinity only matched the exact check above
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
 }
 
 // Smooth returns an exponentially smoothed copy of xs with smoothing factor

@@ -318,3 +318,54 @@ func TestMeanBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-9, true},                      // well inside DefaultTol
+		{1, 1 + 1e-3, false},                     // clearly different
+		{0, 1e-9, true},                          // absolute tolerance near zero
+		{0, 1e-3, false},
+		{1e12, 1e12 * (1 + 1e-9), true},          // relative tolerance at scale
+		{1e12, 1e12 * (1 + 1e-3), false},
+		{float64(float32(0.1)), 0.1, true},       // wire-format float32 round trip
+		{math.Inf(1), math.Inf(1), true},         // equal infinities
+		{math.Inf(1), math.Inf(-1), false},
+		{math.Inf(1), 1e300, false},
+		{math.NaN(), math.NaN(), false},          // NaN equals nothing
+		{math.NaN(), 0, false},
+		{-2.5, -2.5, true},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		// Symmetry must hold for every pair.
+		if ApproxEqual(c.a, c.b) != ApproxEqual(c.b, c.a) {
+			t.Errorf("ApproxEqual(%v, %v) is asymmetric", c.a, c.b)
+		}
+	}
+}
+
+func TestApproxEqualTol(t *testing.T) {
+	if !ApproxEqualTol(100, 101, 0.02) {
+		t.Error("1% difference must pass a 2% tolerance")
+	}
+	if ApproxEqualTol(100, 103, 0.02) {
+		t.Error("3% difference must fail a 2% tolerance")
+	}
+	// Property: exact equality always passes, any tolerance.
+	f := func(x, tol float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		return ApproxEqualTol(x, x, math.Abs(tol))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

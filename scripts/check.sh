@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# check.sh — the full verification gate, as run by CI (.github/workflows/ci.yml)
+# and the Makefile's `make check`. Every step must pass:
+#
+#   1. go build        — the module compiles
+#   2. go vet          — toolchain static analysis
+#   3. fedlint         — repo-native invariants (determinism, wire safety,
+#                        float tolerance, goroutine discipline; internal/lint)
+#   4. go test         — tier-1 tests, including the fedlint self-check and
+#                        the wire-format fuzz seed corpus
+#   5. go test -race   — race detector over the concurrent packages
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> fedlint ./..."
+go run ./cmd/fedlint ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/fed/... ./internal/experiment/..."
+go test -race ./internal/fed/... ./internal/experiment/...
+
+echo "==> all checks passed"
