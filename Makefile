@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the same gate CI runs.
 
-.PHONY: check build vet lint test race fuzz
+.PHONY: check build vet lint test race determinism fuzz
 
 check:
 	./scripts/check.sh
@@ -18,10 +18,16 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/fed/... ./internal/experiment/...
+	go test -race ./...
+
+# Determinism gate: the resilience tests run twice and must replay
+# bit-identically (fault schedules, zero-fault TCP results).
+determinism:
+	go test -run Resilience -count=2 ./internal/fed/... ./internal/experiment/...
 
 # Extended fuzzing of the federation wire format (seed corpus always runs
 # as part of `make test`).
 fuzz:
 	go test -fuzz=FuzzWireRoundTrip -fuzztime=30s ./internal/fed/
 	go test -fuzz=FuzzReadMessage -fuzztime=30s ./internal/fed/
+	go test -fuzz=FuzzFaultyReadMessage -fuzztime=30s ./internal/fed/

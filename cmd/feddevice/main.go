@@ -10,6 +10,7 @@ import (
 	"log"
 	"math/rand"
 	"strings"
+	"time"
 
 	"fedpower"
 )
@@ -23,6 +24,10 @@ func main() {
 	steps := flag.Int("steps", 100, "control steps per round T")
 	interval := flag.Float64("interval", 0.5, "DVFS control interval in simulated seconds")
 	seed := flag.Int64("seed", 42, "device random seed")
+	id := flag.Uint("id", 0, "client ID: a stable aggregation slot across reconnects (0 = anonymous)")
+	retries := flag.Int("retries", 3, "consecutive transport failures tolerated before giving up")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "initial reconnect backoff (doubles per consecutive failure)")
+	retryMax := flag.Duration("retry-max", 5*time.Second, "reconnect backoff cap")
 	save := flag.String("save", "", "write the final global model to this .fpm file")
 	flag.Parse()
 
@@ -68,22 +73,31 @@ func main() {
 		return ctrl.ModelParams(), nil
 	}
 
-	conn, err := fedpower.Dial(*server)
-	if err != nil {
-		log.Fatal(err)
+	// The resilient driver: it reconnects under capped exponential backoff
+	// (jittered from the device seed so a recovering fleet spreads out) and
+	// rejoins the federation at the next broadcast after a dropped link.
+	part := &fedpower.Participant{
+		Addr: *server,
+		ID:   uint32(*id),
+		Retry: fedpower.Backoff{
+			Attempts: *retries,
+			Base:     *retryBase,
+			Max:      *retryMax,
+			Jitter:   rand.New(rand.NewSource(*seed + 3)),
+		},
 	}
-	// Teardown at process exit; every frame was already flushed and
-	// acknowledged by the protocol, so a close error carries no signal.
-	defer func() { _ = conn.Close() }()
-	log.Printf("connected to %s, training on %s", *server, *apps)
+	log.Printf("participating via %s as device %d, training on %s", *server, *id, *apps)
 
-	final, err := conn.Participate(fedpower.FederatedClientFunc(trainRound))
+	final, err := part.Run(fedpower.FederatedClientFunc(trainRound))
 	if err != nil {
 		log.Fatal(err)
 	}
 	ctrl.SetModelParams(final)
+	if part.Reconnects() > 0 {
+		log.Printf("survived %d reconnects", part.Reconnects())
+	}
 	log.Printf("training complete: %d params in final global model, %d B sent, %d B received",
-		len(final), conn.BytesSent(), conn.BytesReceived())
+		len(final), part.BytesSent(), part.BytesReceived())
 	if *save != "" {
 		if err := fedpower.SaveModel(*save, final); err != nil {
 			log.Fatal(err)

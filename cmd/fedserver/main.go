@@ -18,6 +18,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"fedpower"
 )
@@ -30,6 +31,10 @@ func main() {
 	devices := flag.Int("devices", 2, "number of device clients to wait for")
 	rounds := flag.Int("rounds", 100, "federated rounds R")
 	seed := flag.Int64("seed", 1, "seed for the initial global model")
+	quorum := flag.Int("quorum", 0, "minimum updates per round to commit (0 = all devices)")
+	roundTimeout := flag.Duration("round-timeout", 0, "per-round update deadline per device (0 = wait forever)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-broadcast write deadline per device (0 = none)")
+	joinTimeout := flag.Duration("join-timeout", 10*time.Second, "deadline for an accepted connection's join frame (0 = none)")
 	out := flag.String("out", "", "write the final model as comma-separated text to this file instead of stdout")
 	modelPath := flag.String("model", "", "also write the final model in the binary .fpm format (loadable with fedpower.LoadModel)")
 	flag.Parse()
@@ -41,6 +46,13 @@ func main() {
 	srv, err := fedpower.NewServer(*addr, *devices, *rounds)
 	if err != nil {
 		log.Fatal(err)
+	}
+	srv.Quorum = *quorum
+	srv.RoundTimeout = *roundTimeout
+	srv.WriteTimeout = *writeTimeout
+	srv.JoinTimeout = *joinTimeout
+	srv.OnDrop = func(id uint32, round int, err error) {
+		log.Printf("round %d: dropped device %d: %v", round, id, err)
 	}
 	// Teardown at process exit; Serve's return value already decided the
 	// protocol outcome.
@@ -56,6 +68,9 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if srv.Drops() > 0 || srv.Rejoins() > 0 {
+		log.Printf("connection churn: %d drops, %d rejoins", srv.Drops(), srv.Rejoins())
 	}
 
 	if *modelPath != "" {

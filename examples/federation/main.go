@@ -9,14 +9,23 @@
 // shared global policy is evaluated on applications *neither* pairing saw
 // alone, demonstrating the knowledge consolidation of federated learning.
 //
+// The run also demonstrates the fault-tolerant protocol: device B's first
+// connection is rigged to die mid-training, the server drops it for that
+// round (quorum aggregation continues with device A alone), and device B's
+// Participant reconnects under backoff and rejoins at the next broadcast.
+//
 //	go run ./examples/federation
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fedpower"
 )
@@ -36,21 +45,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Fault tolerance: a round needs only one surviving update to commit,
+	// a device that misses the 10 s deadline is dropped (and may rejoin),
+	// and a silent connection cannot stall the join phase.
+	srv.Quorum = 1
+	srv.RoundTimeout = 10 * time.Second
+	srv.JoinTimeout = 10 * time.Second
+	srv.OnDrop = func(id uint32, round int, err error) {
+		fmt.Printf("server: round %d dropped device %d (%v)\n", round, id, err)
+	}
 	// Teardown at process exit; the protocol outcome is already decided.
 	defer func() { _ = srv.Close() }()
 	fmt.Printf("aggregation server on %s — %d rounds, %d B per model transfer\n\n",
 		srv.Addr(), rounds, fedpower.TransferSize(len(initial)))
 
 	var wg sync.WaitGroup
-	runDevice := func(name string, seed int64, appNames []string) {
+	runDevice := func(name string, id uint32, seed int64, appNames []string, flakyWrite int32) {
 		defer wg.Done()
-		if err := device(srv.Addr(), name, seed, appNames); err != nil {
+		if err := device(srv.Addr(), name, id, seed, appNames, flakyWrite); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 	}
 	wg.Add(2)
-	go runDevice("device-A", 10, []string{"water-ns", "water-sp"})
-	go runDevice("device-B", 20, []string{"ocean", "radix"})
+	go runDevice("device-A", 1, 10, []string{"water-ns", "water-sp"}, 0)
+	// Device B's first connection dies on its 12th write — the round-11
+	// model update — so the server drops it in round 11 and it rejoins.
+	go runDevice("device-B", 2, 20, []string{"ocean", "radix"}, 12)
 
 	final, err := srv.Serve(initial, func(round int, _ []float64) {
 		if round%20 == 0 {
@@ -61,6 +81,7 @@ func main() {
 		log.Fatal(err)
 	}
 	wg.Wait()
+	fmt.Printf("server: connection churn — %d drops, %d rejoins\n", srv.Drops(), srv.Rejoins())
 
 	// Evaluate the shared policy greedily on unseen applications.
 	fmt.Println("\nglobal policy on applications unseen by either device alone:")
@@ -90,9 +111,28 @@ func main() {
 	}
 }
 
+// flakyConn kills the underlying connection on its n-th write — a stand-in
+// for a power-cycled device or a dropped link mid-round.
+type flakyConn struct {
+	net.Conn
+	count *int32
+	n     int32
+}
+
+func (c flakyConn) Write(p []byte) (int, error) {
+	if atomic.AddInt32(c.count, 1) == c.n {
+		_ = c.Conn.Close()
+		return 0, errors.New("simulated link failure")
+	}
+	return c.Conn.Write(p)
+}
+
 // device runs one federated participant over TCP: the same control loop a
-// real board would run, against the simulated processor.
-func device(server, name string, seed int64, appNames []string) error {
+// real board would run, against the simulated processor — driven by the
+// resilient Participant, which reconnects under capped-backoff retry when
+// the link dies. flakyWrite > 0 rigs the first connection to fail on that
+// write.
+func device(server, name string, id uint32, seed int64, appNames []string, flakyWrite int32) error {
 	table := fedpower.JetsonNanoTable()
 	params := fedpower.DefaultControllerParams(table.Len())
 
@@ -114,15 +154,31 @@ func device(server, name string, seed int64, appNames []string) error {
 	obs := dev.Step(interval)
 
 	var state []float64
-	conn, err := fedpower.Dial(server)
-	if err != nil {
-		return err
+	part := &fedpower.Participant{
+		Addr: server,
+		ID:   id,
+		Retry: fedpower.Backoff{
+			Attempts: 5,
+			Base:     50 * time.Millisecond,
+			Jitter:   rand.New(rand.NewSource(seed + 3)),
+		},
 	}
-	// Every frame is flushed per round; a close error at teardown carries
-	// no signal for the already-completed training.
-	defer func() { _ = conn.Close() }()
+	if flakyWrite > 0 {
+		var writes int32
+		var dials int32
+		part.Dialer = func() (net.Conn, error) {
+			c, err := net.Dial("tcp", server)
+			if err != nil {
+				return nil, err
+			}
+			if atomic.AddInt32(&dials, 1) == 1 {
+				return flakyConn{Conn: c, count: &writes, n: flakyWrite}, nil
+			}
+			return c, nil
+		}
+	}
 
-	_, err = conn.Participate(fedpower.FederatedClientFunc(func(round int, global []float64) ([]float64, error) {
+	_, err := part.Run(fedpower.FederatedClientFunc(func(round int, global []float64) ([]float64, error) {
 		ctrl.SetModelParams(global)
 		for t := 0; t < steps; t++ {
 			if dev.Done() {
@@ -139,6 +195,7 @@ func device(server, name string, seed int64, appNames []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: done (%d B sent, %d B received)\n", name, conn.BytesSent(), conn.BytesReceived())
+	fmt.Printf("%s: done (%d reconnects, %d B sent, %d B received)\n",
+		name, part.Reconnects(), part.BytesSent(), part.BytesReceived())
 	return nil
 }

@@ -229,6 +229,48 @@ func NewServer(addr string, numClients, rounds int) (*Server, error) {
 // Dial connects a device to the TCP aggregation server.
 func Dial(addr string) (*Conn, error) { return fed.Dial(addr) }
 
+// DialID is Dial with an explicit client ID, giving the device a stable
+// aggregation slot across reconnects.
+func DialID(addr string, id uint32) (*Conn, error) { return fed.DialID(addr, id) }
+
+// RoundError is the structured federation failure: round, phase and client.
+type RoundError = fed.RoundError
+
+// Phase identifies where in a federated round an error occurred.
+type Phase = fed.Phase
+
+// Backoff is the capped-exponential retry policy used for reconnects.
+type Backoff = fed.Backoff
+
+// Participant is the resilient device-side protocol driver: it reconnects
+// under Backoff after transport failures and rejoins the federation.
+type Participant = fed.Participant
+
+// ClientErrorPolicy selects FederatedRunWithConfig's failure handling.
+type ClientErrorPolicy = fed.ClientErrorPolicy
+
+// Client-error policies: abort on the first failure, or drop the failing
+// client for the round and continue under quorum.
+const (
+	FailFast  = fed.FailFast
+	DropRound = fed.DropRound
+)
+
+// RunConfig configures FederatedRunWithConfig.
+type RunConfig = fed.RunConfig
+
+// FederatedRunWithConfig is FederatedRun with the TCP transport's
+// quorum/dropout semantics: failing clients can sit a round out and rounds
+// commit once Quorum updates survive.
+func FederatedRunWithConfig(global []float64, clients []FederatedClient, cfg RunConfig) error {
+	return fed.RunWithConfig(global, clients, cfg)
+}
+
+// DialRetry dials the aggregation server under the backoff policy.
+func DialRetry(addr string, id uint32, b Backoff) (*Conn, error) {
+	return fed.DialRetry(addr, id, b)
+}
+
 // TransferSize returns the on-wire bytes of one model transfer for a
 // network with n parameters (2748 payload bytes + 9 framing bytes for the
 // paper's 687-parameter network).
@@ -369,6 +411,21 @@ func RunFig5(o Options) (*Fig5Result, error) { return experiment.RunFig5(o) }
 // RunOverhead measures controller runtime costs on this host.
 func RunOverhead(o Options, decisions int) *OverheadResult {
 	return experiment.RunOverhead(o, decisions)
+}
+
+// ResilienceOptions configures the fault-injected TCP federation scenario.
+type ResilienceOptions = experiment.ResilienceOptions
+
+// ResilienceResult reports how far a federation got under faults.
+type ResilienceResult = experiment.ResilienceResult
+
+// DefaultResilienceOptions returns a small fault-free resilience scenario.
+func DefaultResilienceOptions() ResilienceOptions { return experiment.DefaultResilienceOptions() }
+
+// RunResilience trains a federation over localhost TCP with seeded fault
+// injection and reports rounds completed, traffic and final accuracy.
+func RunResilience(o ResilienceOptions) (*ResilienceResult, error) {
+	return experiment.RunResilience(o)
 }
 
 // ---------------------------------------------------------------------------

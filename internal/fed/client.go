@@ -8,36 +8,77 @@ import (
 
 // Conn is a client-side connection to the aggregation server. A device
 // connects once and then participates in every round until the server sends
-// the final model.
+// the final model, the connection dies, or the server drops the device for
+// missing a round deadline (in which case Participant.Run reconnects and
+// the device rejoins at the next broadcast).
+//
+// Dial, Participate and Close must be called from one goroutine.
 type Conn struct {
 	conn      net.Conn
 	r         *bufio.Reader
 	w         *bufio.Writer
+	id        uint32
+	round     int // last round received from the server; 0 before the first
 	bytesSent int64
 	bytesRecv int64
 }
 
-// Dial connects to the aggregation server at addr.
-func Dial(addr string) (*Conn, error) {
+// Dial connects to the aggregation server at addr with client ID 0
+// (anonymous: the server assigns aggregation order by arrival).
+func Dial(addr string) (*Conn, error) { return DialID(addr, 0) }
+
+// DialID connects to the aggregation server at addr and identifies as the
+// given client ID. IDs give devices stable aggregation slots: the server
+// orders each round's surviving updates by (ID, arrival), so a fleet using
+// distinct IDs aggregates in a reproducible order no matter how connects
+// and reconnects interleave.
+func DialID(addr string, id uint32) (*Conn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("fed: dial %s: %w", addr, err)
 	}
-	return &Conn{
+	c, err := NewConn(conn, id)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewConn wraps an established transport connection (the seam the
+// fault-injection harness uses) and sends the join frame identifying this
+// device to the server.
+func NewConn(conn net.Conn, id uint32) (*Conn, error) {
+	c := &Conn{
 		conn: conn,
 		r:    bufio.NewReader(conn),
 		w:    bufio.NewWriter(conn),
-	}, nil
+		id:   id,
+	}
+	// The join handshake is protocol framing, not a model transfer, so it
+	// stays out of the byte counters.
+	if _, err := writeMessage(c.w, message{kind: msgJoin, round: int(id)}); err != nil {
+		return nil, roundError(0, PhaseJoin, err)
+	}
+	return c, nil
 }
 
 // Close tears down the connection.
 func (c *Conn) Close() error { return c.conn.Close() }
 
-// BytesSent returns the total bytes this client has written to the server.
+// ID returns the client ID sent in the join frame.
+func (c *Conn) ID() uint32 { return c.id }
+
+// Round returns the last round number received from the server, 0 before
+// the first broadcast arrives.
+func (c *Conn) Round() int { return c.round }
+
+// BytesSent returns the total model-bearing bytes this client has written
+// to the server.
 func (c *Conn) BytesSent() int64 { return c.bytesSent }
 
-// BytesReceived returns the total bytes this client has read from the
-// server.
+// BytesReceived returns the total model-bearing bytes this client has read
+// from the server.
 func (c *Conn) BytesReceived() int64 { return c.bytesRecv }
 
 // Participate runs the client side of the protocol to completion: for every
@@ -45,28 +86,36 @@ func (c *Conn) BytesReceived() int64 { return c.bytesRecv }
 // the result back. It returns the final global model from the server's done
 // message. The trainer receives a private copy of the global parameters and
 // its return value is not retained.
+//
+// Every failure is returned as a *RoundError carrying the round number and
+// protocol phase, so callers can tell a server teardown mid-round
+// (PhaseReceive, round R) from a local training failure (PhaseTrain) or a
+// lost update (PhaseSend) — the distinction Participant.Run uses to decide
+// whether reconnecting is worthwhile.
 func (c *Conn) Participate(client Client) ([]float64, error) {
 	for {
 		m, err := readMessage(c.r)
 		if err != nil {
-			return nil, err
+			return nil, roundError(c.round, PhaseReceive, err)
 		}
 		c.bytesRecv += int64(TransferSize(len(m.params)))
 		switch m.kind {
 		case msgDone:
 			return m.params, nil
 		case msgModel:
+			c.round = m.round
 			updated, err := client.TrainRound(m.round, m.params)
 			if err != nil {
-				return nil, fmt.Errorf("fed: local training round %d: %w", m.round, err)
+				return nil, roundError(m.round, PhaseTrain, fmt.Errorf("local training: %w", err))
 			}
 			n, err := writeMessage(c.w, message{kind: msgUpdate, round: m.round, params: updated})
 			c.bytesSent += int64(n)
 			if err != nil {
-				return nil, err
+				return nil, roundError(m.round, PhaseSend, err)
 			}
 		default:
-			return nil, fmt.Errorf("fed: unexpected message type %d from server", m.kind)
+			return nil, roundError(c.round, PhaseReceive,
+				fmt.Errorf("unexpected message type %d from server", m.kind))
 		}
 	}
 }

@@ -1,0 +1,67 @@
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Phase names the protocol step an error occurred in, so operators and test
+// assertions can tell a deadline from a protocol violation without parsing
+// message strings.
+type Phase string
+
+const (
+	// PhaseJoin is the client's post-dial identification frame.
+	PhaseJoin Phase = "join"
+	// PhaseBroadcast is the server writing the round's global model.
+	PhaseBroadcast Phase = "broadcast"
+	// PhaseReceive is the client waiting for the round's global model.
+	PhaseReceive Phase = "receive"
+	// PhaseTrain is the local optimisation between receive and send.
+	PhaseTrain Phase = "train"
+	// PhaseSend is the client writing its locally optimised model.
+	PhaseSend Phase = "send"
+	// PhaseCollect is the server reading a client's round update.
+	PhaseCollect Phase = "collect"
+)
+
+// RoundError wraps a failure with its federated round number and protocol
+// phase. Round 0 on the client side means the connection died before the
+// first broadcast arrived. Client is the server-side client index, or -1
+// when the error arose on the device side.
+type RoundError struct {
+	Round  int
+	Phase  Phase
+	Client int
+	Err    error
+}
+
+// Error renders "fed: round R <phase> [client N]: cause".
+func (e *RoundError) Error() string {
+	if e.Client >= 0 {
+		return fmt.Sprintf("fed: round %d %s client %d: %v", e.Round, e.Phase, e.Client, e.Err)
+	}
+	return fmt.Sprintf("fed: round %d %s: %v", e.Round, e.Phase, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *RoundError) Unwrap() error { return e.Err }
+
+// Timeout reports whether the cause was a deadline expiry — the straggler
+// signature — as opposed to a closed connection or protocol violation.
+func (e *RoundError) Timeout() bool { return isTimeout(e.Err) }
+
+// roundError builds a device-side RoundError (no client index).
+func roundError(round int, phase Phase, err error) *RoundError {
+	return &RoundError{Round: round, Phase: phase, Client: -1, Err: err}
+}
+
+// isTimeout reports whether err is a deadline expiry anywhere in its chain.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne interface{ Timeout() bool }
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -11,24 +11,60 @@
 // device — exchanging float32 parameter frames whose size matches the
 // paper's reported 2.8 kB per transfer.
 //
+// # Fault tolerance
+//
+// Real edge fleets have stragglers, dropped links and power-cycled devices,
+// so the TCP transport degrades gracefully instead of wedging:
+//
+//   - Deadlines. Every server I/O phase is bounded: JoinTimeout on the
+//     post-accept join frame, WriteTimeout on each broadcast write, and
+//     RoundTimeout on each round's update read, all placed with the
+//     injected Server.Clock (nil = time.Now).
+//   - Drop, don't abort. A client that misses a deadline, answers for the
+//     wrong round, sends the wrong shape, or whose socket dies is dropped
+//     from the pool and its connection closed — a half-read frame can
+//     therefore never desynchronise a later round, because a dropped
+//     device always returns on a fresh connection.
+//   - Quorum aggregation. A round commits when at least Server.Quorum
+//     updates survived (default: all clients); the new global model is the
+//     unweighted mean of exactly the survivors, in stable (client ID, join
+//     sequence) order, so a dead device's stale parameters never leak into
+//     the aggregate. A round below quorum aborts the protocol with a
+//     *RoundError naming the round and phase.
+//   - Rejoin. The accept loop runs for the whole session; a dropped device
+//     that reconnects (Participant.Run does this automatically, under
+//     capped exponential backoff with seeded jitter) is admitted into the
+//     pool at the next round boundary and receives that round's broadcast.
+//
+// The in-process orchestrator mirrors these semantics: RunWithConfig
+// applies the same quorum rule with a ClientErrorPolicy deciding whether a
+// failing client aborts the run (FailFast) or just sits the round out
+// (DropRound).
+//
 // # Goroutine ownership
 //
 // The TCP transport follows strict ownership rules, machine-checked where
 // possible by the golaunch analyzer (cmd/fedlint):
 //
-//   - Server.Serve owns every connection. Worker goroutines are launched
-//     only inside Serve/broadcast, one per client per phase, always joined
-//     through a sync.WaitGroup before the phase's results are read; none
-//     outlives its round, and all loop state a worker needs (client index,
-//     connection, round number) is passed as arguments at launch, never
-//     captured.
+//   - Server.Serve owns every connection and the accept loop. The accept
+//     loop is launched once per Serve, owns the listener until it closes,
+//     and hands joined connections to Serve through a channel it closes on
+//     exit; Serve closes the listener on return and drains that channel,
+//     so the loop can never outlive Serve nor leak a connection.
+//   - Phase workers are launched only inside broadcast/collect, one per
+//     client per phase, always joined through a sync.WaitGroup before the
+//     phase's results are read; none outlives its round, and all loop
+//     state a worker needs (client index, connection, round number) is
+//     passed as arguments at launch, never captured.
 //   - Workers write only to their own index of a pre-sized results slice
-//     (errs[i], sent[i], locals[i]); the WaitGroup join is the
+//     (errs[i], sent[i], updates[i]); the WaitGroup join is the
 //     happens-before edge that publishes those writes to Serve.
-//   - Shared byte counters (bytesSent, bytesRecv) are mutated only under
-//     Server.mu, and only by the Serve goroutine after the join.
-//   - The client side (Conn) is single-goroutine by construction: Dial,
-//     Participate and Close must be called from one goroutine.
+//   - Shared counters (bytesSent, bytesRecv, drops, rejoins) are mutated
+//     only under Server.mu; the OnDrop observer runs on the Serve
+//     goroutine only.
+//   - The client side (Conn, Participant) is single-goroutine by
+//     construction: Dial, Participate, Run and Close must be called from
+//     one goroutine.
 package fed
 
 import (
@@ -159,6 +195,94 @@ func RunSampled(global []float64, clients []Client, fraction float64, rounds int
 		nn.AverageParams(global, locals...)
 		if hook != nil {
 			hook(r, global)
+		}
+	}
+	return nil
+}
+
+// ClientErrorPolicy decides what RunWithConfig does when a client's
+// TrainRound fails (or returns the wrong parameter shape).
+type ClientErrorPolicy int
+
+const (
+	// FailFast aborts the run on the first client error — Run's behavior,
+	// and the right policy when clients are in-process and a failure means
+	// a bug rather than a flaky device.
+	FailFast ClientErrorPolicy = iota
+	// DropRound excludes the failing client from the current round's
+	// average; the client is offered the next round's broadcast again. This
+	// mirrors the TCP server's drop-and-rejoin semantics.
+	DropRound
+)
+
+// RunConfig configures RunWithConfig, the fault-tolerant in-process
+// orchestrator.
+type RunConfig struct {
+	// Rounds is the number of federated rounds R.
+	Rounds int
+	// Quorum is the minimum number of successful client updates a round
+	// needs to commit; 0 means all clients. Only meaningful with DropRound
+	// (under FailFast any failure aborts before the quorum check).
+	Quorum int
+	// OnClientError selects the failure policy; the zero value is
+	// FailFast.
+	OnClientError ClientErrorPolicy
+	// Hook, if non-nil, runs after every aggregation.
+	Hook RoundHook
+}
+
+// RunWithConfig executes federated averaging with the TCP transport's
+// quorum/dropout semantics: each round every client is offered the
+// broadcast; under DropRound a failing client is excluded from that round's
+// aggregation (its error is absorbed) and the round commits as long as at
+// least Quorum updates succeeded, averaging exactly the survivors. A round
+// below quorum aborts with a *RoundError wrapping the first client failure.
+func RunWithConfig(global []float64, clients []Client, cfg RunConfig) error {
+	if len(clients) == 0 {
+		return fmt.Errorf("fed: no clients")
+	}
+	if cfg.Rounds <= 0 {
+		return fmt.Errorf("fed: round count %d must be positive", cfg.Rounds)
+	}
+	if cfg.Quorum < 0 || cfg.Quorum > len(clients) {
+		return fmt.Errorf("fed: quorum %d out of [0,%d]", cfg.Quorum, len(clients))
+	}
+	quorum := cfg.Quorum
+	if quorum == 0 {
+		quorum = len(clients)
+	}
+
+	broadcast := make([]float64, len(global))
+	locals := make([][]float64, 0, len(clients))
+	for r := 1; r <= cfg.Rounds; r++ {
+		copy(broadcast, global)
+		locals = locals[:0]
+		var firstErr error
+		for i, c := range clients {
+			updated, err := c.TrainRound(r, broadcast)
+			if err == nil && len(updated) != len(global) {
+				err = fmt.Errorf("returned %d params, want %d", len(updated), len(global))
+			}
+			if err != nil {
+				wrapped := &RoundError{Round: r, Phase: PhaseTrain, Client: i, Err: err}
+				if cfg.OnClientError == FailFast {
+					return wrapped
+				}
+				if firstErr == nil {
+					firstErr = wrapped
+				}
+				continue
+			}
+			locals = append(locals, append([]float64(nil), updated...))
+		}
+		if len(locals) < quorum {
+			return &RoundError{Round: r, Phase: PhaseCollect, Client: -1,
+				Err: fmt.Errorf("%d of %d clients delivered, quorum %d: %w",
+					len(locals), len(clients), quorum, firstErr)}
+		}
+		nn.AverageParams(global, locals...)
+		if cfg.Hook != nil {
+			cfg.Hook(r, global)
 		}
 	}
 	return nil

@@ -87,6 +87,69 @@ func FuzzWireRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzFaultyReadMessage models the faults internal/faultnet injects on a
+// live connection — truncation mid-frame and bit corruption — on top of a
+// well-formed message. The decoder must error or return a complete frame
+// that is consistent with the (possibly corrupted) bytes it actually read;
+// it must never panic and never pass a partial frame off as success.
+func FuzzFaultyReadMessage(f *testing.F) {
+	f.Add(uint8(1), uint32(3), []byte{0, 0, 128, 63}, uint16(5), uint16(0), uint8(0))   // cut inside payload
+	f.Add(uint8(2), uint32(1), []byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(999), uint16(0), uint8(255)) // corrupt kind
+	f.Add(uint8(3), uint32(7), []byte{}, uint16(4), uint16(0), uint8(0))                // cut inside header
+	f.Add(uint8(4), uint32(9), []byte{}, uint16(999), uint16(6), uint8(128))            // corrupt count of a join
+	f.Add(uint8(1), uint32(2), []byte{0, 0, 192, 255}, uint16(999), uint16(7), uint8(64)) // inflate count
+	f.Fuzz(func(t *testing.T, kind uint8, round uint32, payload []byte, cut uint16, xorIdx uint16, xorMask uint8) {
+		switch kind % 4 {
+		case 0:
+			kind = msgModel
+		case 1:
+			kind = msgUpdate
+		case 2:
+			kind = msgDone
+		case 3:
+			kind = msgJoin
+		}
+		in := message{kind: kind, round: int(round), params: paramsFromBytes(payload)}
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if _, err := writeMessage(w, in); err != nil {
+			t.Fatalf("writeMessage: %v", err)
+		}
+		wire := buf.Bytes()
+
+		// Fault 1: flip bits of one byte anywhere in the frame.
+		if xorMask != 0 && len(wire) > 0 {
+			wire[int(xorIdx)%len(wire)] ^= xorMask
+		}
+		// Fault 2: truncate the frame at an arbitrary point (a cut past the
+		// end leaves it whole).
+		if int(cut) < len(wire) {
+			wire = wire[:cut]
+		}
+
+		m, err := readMessage(bufio.NewReader(bytes.NewReader(wire)))
+		if err != nil {
+			return // faulty input must error, and did
+		}
+		// The decoder claimed success: the frame it returned must be
+		// complete and consistent with the bytes that were available.
+		if len(wire) < headerSize {
+			t.Fatalf("decoder succeeded on a %d-byte stream, shorter than the header", len(wire))
+		}
+		if m.kind != msgModel && m.kind != msgUpdate && m.kind != msgDone && m.kind != msgJoin {
+			t.Fatalf("decoder accepted unknown message kind %d", m.kind)
+		}
+		count := int(binary.LittleEndian.Uint32(wire[5:]))
+		if len(m.params) != count {
+			t.Fatalf("decoder returned %d params for a header declaring %d", len(m.params), count)
+		}
+		if need := headerSize + nn.WireSize(count); len(wire) < need {
+			t.Fatalf("decoder returned a %d-param frame from %d bytes, needs %d — partial frame passed as success",
+				count, len(wire), need)
+		}
+	})
+}
+
 // FuzzReadMessage feeds arbitrary bytes to the decoder: it must either
 // return a structurally valid message or an error — never panic, and never
 // allocate beyond the maxWireParams bound.

@@ -1,0 +1,579 @@
+package fed
+
+import (
+	"bufio"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fedpower/internal/faultnet"
+)
+
+// TestTCPResilienceKilledAndStraggler is the acceptance scenario: a 4-device
+// federation with quorum K = N-2 where one client is killed mid-round and
+// another stalls past the round deadline must complete every round,
+// aggregating only the survivors.
+func TestTCPResilienceKilledAndStraggler(t *testing.T) {
+	const (
+		rounds  = 4
+		clients = 4
+	)
+	srv := startServer(t, clients, rounds)
+	srv.Quorum = clients - 2
+	srv.RoundTimeout = 300 * time.Millisecond
+	srv.JoinTimeout = 2 * time.Second
+
+	var dropped []uint32
+	srv.OnDrop = func(id uint32, round int, err error) {
+		dropped = append(dropped, id)
+		if round != 2 {
+			t.Errorf("client %d dropped in round %d, want round 2", id, round)
+		}
+	}
+
+	var wg sync.WaitGroup
+
+	// Two healthy devices (IDs 3, 4) adding +3 and +4 per round.
+	finals := make([][]float64, clients+1)
+	errs := make([]error, clients+1)
+	for id := 3; id <= 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := DialID(srv.Addr(), uint32(id))
+			if err != nil {
+				errs[id] = err
+				return
+			}
+			defer conn.Close()
+			finals[id], errs[id] = conn.Participate(ClientFunc(func(round int, global []float64) ([]float64, error) {
+				out := make([]float64, len(global))
+				for i, g := range global {
+					out[i] = g + float64(id)
+				}
+				return out, nil
+			}))
+		}(id)
+	}
+
+	// Device 1: killed mid-round — answers round 1, reads the round-2 model,
+	// then slams the connection shut without answering.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := DialID(srv.Addr(), 1)
+		if err != nil {
+			errs[1] = err
+			return
+		}
+		for {
+			m, err := readMessage(conn.r)
+			if err != nil {
+				errs[1] = err
+				return
+			}
+			if m.round >= 2 {
+				_ = conn.Close()
+				return
+			}
+			for i := range m.params {
+				m.params[i] += 1
+			}
+			if _, err := writeMessage(conn.w, message{kind: msgUpdate, round: m.round, params: m.params}); err != nil {
+				errs[1] = err
+				return
+			}
+		}
+	}()
+
+	// Device 2: straggler — answers round 1, then stalls far past the round
+	// deadline before trying to answer round 2.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := DialID(srv.Addr(), 2)
+		if err != nil {
+			errs[2] = err
+			return
+		}
+		defer conn.Close()
+		for {
+			m, err := readMessage(conn.r)
+			if err != nil {
+				return // dropped by the server, as expected
+			}
+			if m.round >= 2 {
+				time.Sleep(1200 * time.Millisecond)
+			}
+			for i := range m.params {
+				m.params[i] += 2
+			}
+			if _, err := writeMessage(conn.w, message{kind: msgUpdate, round: m.round, params: m.params}); err != nil {
+				return
+			}
+		}
+	}()
+
+	global, err := srv.Serve([]float64{0, 0}, nil)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Serve failed despite quorum: %v", err)
+	}
+	for id := 3; id <= 4; id++ {
+		if errs[id] != nil {
+			t.Fatalf("healthy client %d: %v", id, errs[id])
+		}
+	}
+
+	// Round 1 aggregates all four (mean of +1..+4 = +2.5); rounds 2-4
+	// aggregate only the two survivors (mean of +3,+4 = +3.5). All values
+	// are dyadic, so the arithmetic is exact.
+	want := 2.5 + 3.5*float64(rounds-1)
+	for i, g := range global {
+		if g != want {
+			t.Errorf("global[%d] = %v, want %v", i, g, want)
+		}
+	}
+	for id := 3; id <= 4; id++ {
+		for i := range global {
+			if finals[id][i] != global[i] {
+				t.Errorf("client %d final[%d] = %v, want server's %v", id, i, finals[id][i], global[i])
+			}
+		}
+	}
+	if srv.Drops() != 2 {
+		t.Errorf("server dropped %d clients %v, want 2 (killed + straggler)", srv.Drops(), dropped)
+	}
+	if srv.Rejoins() != 0 {
+		t.Errorf("server counted %d rejoins, want 0", srv.Rejoins())
+	}
+}
+
+// killNthWrite injects a deterministic mid-round connection death: the n-th
+// write on the connection fails and kills the socket.
+type killNthWrite struct {
+	net.Conn
+	count *int32
+	n     int32
+}
+
+func (k killNthWrite) Write(p []byte) (int, error) {
+	if atomic.AddInt32(k.count, 1) == k.n {
+		_ = k.Conn.Close()
+		return 0, errors.New("injected: connection killed")
+	}
+	return k.Conn.Write(p)
+}
+
+// TestTCPDroppedClientRejoinsNextBroadcast: a device whose connection dies
+// mid-round is dropped for that round, reconnects under its retry policy,
+// and is aggregated again from the next round on.
+func TestTCPDroppedClientRejoinsNextBroadcast(t *testing.T) {
+	const rounds = 4
+	srv := startServer(t, 2, rounds)
+	srv.Quorum = 1
+	srv.RoundTimeout = 5 * time.Second
+	srv.JoinTimeout = 5 * time.Second
+
+	var wg sync.WaitGroup
+
+	// Steady device (ID 2): +2 per round, slowed so the flaky device's
+	// reconnect always lands before the next round starts.
+	var steadyFinal []float64
+	var steadyErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := DialID(srv.Addr(), 2)
+		if err != nil {
+			steadyErr = err
+			return
+		}
+		defer conn.Close()
+		steadyFinal, steadyErr = conn.Participate(ClientFunc(func(round int, global []float64) ([]float64, error) {
+			time.Sleep(300 * time.Millisecond)
+			out := make([]float64, len(global))
+			for i, g := range global {
+				out[i] = g + 2
+			}
+			return out, nil
+		}))
+	}()
+
+	// Flaky device (ID 1): +4 per round; its first connection's third write
+	// (join, round-1 update, round-2 update) fails, so it misses exactly
+	// round 2 and rejoins for round 3.
+	var writeCount int32
+	dials := 0
+	part := &Participant{
+		Addr: srv.Addr(),
+		ID:   1,
+		Retry: Backoff{
+			Attempts: 5,
+			Base:     10 * time.Millisecond,
+			Jitter:   rand.New(rand.NewSource(1)),
+		},
+		Dialer: func() (net.Conn, error) {
+			c, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				return nil, err
+			}
+			dials++
+			if dials == 1 {
+				return killNthWrite{Conn: c, count: &writeCount, n: 3}, nil
+			}
+			return c, nil
+		},
+	}
+	var flakyFinal []float64
+	var flakyErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flakyFinal, flakyErr = part.Run(ClientFunc(func(round int, global []float64) ([]float64, error) {
+			out := make([]float64, len(global))
+			for i, g := range global {
+				out[i] = g + 4
+			}
+			return out, nil
+		}))
+	}()
+
+	global, err := srv.Serve([]float64{0}, nil)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steadyErr != nil || flakyErr != nil {
+		t.Fatalf("client errors: steady=%v flaky=%v", steadyErr, flakyErr)
+	}
+
+	// Rounds 1, 3, 4 aggregate both (+3); round 2 only the steady device
+	// (+2). Exact dyadic arithmetic: 3+2+3+3 = 11.
+	if global[0] != 11 {
+		t.Fatalf("global = %v, want 11 (flaky device must miss exactly round 2)", global[0])
+	}
+	if flakyFinal[0] != global[0] || steadyFinal[0] != global[0] {
+		t.Fatalf("final models (flaky %v, steady %v) differ from server %v", flakyFinal, steadyFinal, global)
+	}
+	if part.Reconnects() != 1 {
+		t.Errorf("flaky device reconnected %d times, want 1", part.Reconnects())
+	}
+	if srv.Drops() != 1 || srv.Rejoins() != 1 {
+		t.Errorf("server drops=%d rejoins=%d, want 1 and 1", srv.Drops(), srv.Rejoins())
+	}
+	if part.LastRound() != rounds {
+		t.Errorf("flaky device last round %d, want %d", part.LastRound(), rounds)
+	}
+}
+
+// TestTCPFederationUnderFaultnet drives a federation through seeded fault
+// injection: connections drop and frames truncate per the faultnet
+// schedule, devices reconnect under backoff, and the run must either
+// complete all rounds or abort with a quorum RoundError — never hang, never
+// corrupt an aggregate (asserted by the server finishing with a well-formed
+// model), never race.
+func TestTCPFederationUnderFaultnet(t *testing.T) {
+	const (
+		rounds  = 5
+		clients = 3
+	)
+	srv := startServer(t, clients, rounds)
+	srv.Quorum = clients - 1
+	srv.RoundTimeout = 2 * time.Second
+	srv.WriteTimeout = 2 * time.Second
+	srv.JoinTimeout = 2 * time.Second
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		inj := faultnet.NewInjector(900+int64(i), faultnet.Config{
+			DropRate:     0.06,
+			TruncateRate: 0.04,
+		})
+		part := &Participant{
+			Addr: srv.Addr(),
+			ID:   uint32(i + 1),
+			Retry: Backoff{
+				Attempts: 8,
+				Base:     5 * time.Millisecond,
+				Max:      50 * time.Millisecond,
+				Jitter:   rand.New(rand.NewSource(int64(i))),
+			},
+			Dialer: func() (net.Conn, error) {
+				c, err := net.Dial("tcp", srv.Addr())
+				if err != nil {
+					return nil, err
+				}
+				return inj.Wrap(c), nil
+			},
+		}
+		wg.Add(1)
+		go func(i int, part *Participant) {
+			defer wg.Done()
+			_, errs[i] = part.Run(ClientFunc(func(round int, global []float64) ([]float64, error) {
+				out := make([]float64, len(global))
+				for k, g := range global {
+					out[k] = g + float64(i+1)
+				}
+				return out, nil
+			}))
+		}(i, part)
+	}
+
+	completed := 0
+	global, err := srv.Serve(make([]float64, 8), func(round int, g []float64) { completed = round })
+	wg.Wait()
+
+	if err != nil {
+		// A quorum collapse is a legitimate outcome under fault injection —
+		// but it must be reported as a structured round error, and the
+		// completed rounds must be consistent with where it stopped.
+		var re *RoundError
+		if !errors.As(err, &re) {
+			t.Fatalf("federation failed without round context: %v", err)
+		}
+		if re.Round != completed+1 {
+			t.Errorf("failed in round %d but %d rounds committed", re.Round, completed)
+		}
+		return
+	}
+	if completed != rounds {
+		t.Fatalf("hook saw %d rounds, want %d", completed, rounds)
+	}
+	for i, g := range global {
+		// Every round adds a mean in [1, clients]; the final model must be
+		// inside the reachable envelope.
+		if g < 1 || g > float64(clients*rounds) {
+			t.Fatalf("global[%d] = %v outside reachable range [1,%d]", i, g, clients*rounds)
+		}
+	}
+	// A device that gave up retrying must be reflected in the server's
+	// drop accounting.
+	for i, e := range errs {
+		if e != nil {
+			t.Logf("client %d gave up: %v (drops=%d rejoins=%d)", i+1, e, srv.Drops(), srv.Rejoins())
+		}
+	}
+}
+
+// TestReadMessageOverFaultnetTruncation: a frame truncated by the fault
+// injector mid-payload must surface as a decode error on the reading side,
+// never as a short message.
+func TestReadMessageOverFaultnetTruncation(t *testing.T) {
+	inj := faultnet.NewInjector(3, faultnet.Config{TruncateRate: 1})
+	a, b := net.Pipe()
+	fa := inj.Wrap(a)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := bufio.NewWriter(b)
+		// The raw side writes a full paper-sized frame (687 params, 2757
+		// bytes — larger than half of bufio's fill buffer, so the injector's
+		// truncation actually cuts data); the faulty side sees a prefix and
+		// then a dead connection.
+		_, _ = writeMessage(w, message{kind: msgModel, round: 1, params: make([]float64, 687)})
+		_ = b.Close()
+	}()
+	m, err := readMessage(bufio.NewReader(fa))
+	<-done
+	_ = fa.Close()
+	if err == nil {
+		t.Fatalf("truncated frame decoded as success: %+v", m)
+	}
+	if len(m.params) != 0 {
+		t.Fatalf("truncated frame yielded %d params", len(m.params))
+	}
+}
+
+// TestParticipateReportsRoundAndPhase is the error-context fix: a server
+// teardown mid-round must surface as a *RoundError naming the round and the
+// receive phase, not a bare read error.
+func TestParticipateReportsRoundAndPhase(t *testing.T) {
+	srv := startServer(t, 1, 10)
+	srv.JoinTimeout = 2 * time.Second
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := Dial(srv.Addr())
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		_, err = conn.Participate(ClientFunc(func(round int, global []float64) ([]float64, error) {
+			if round == 2 {
+				// Kill the whole server between receive and send of round 2.
+				_ = srv.Close()
+			}
+			return global, nil
+		}))
+		done <- err
+	}()
+
+	_, serveErr := srv.Serve([]float64{1, 2}, nil)
+	if serveErr == nil {
+		t.Fatal("Serve survived its listener being closed mid-protocol")
+	}
+	err := <-done
+	var re *RoundError
+	if !errors.As(err, &re) {
+		t.Fatalf("client error %v (%T) is not a *RoundError", err, err)
+	}
+	if re.Round < 2 {
+		t.Errorf("client error reports round %d, want >= 2", re.Round)
+	}
+	if re.Phase != PhaseReceive && re.Phase != PhaseSend {
+		t.Errorf("client error reports phase %q, want receive or send", re.Phase)
+	}
+	if re.Timeout() {
+		t.Error("connection teardown misclassified as a timeout")
+	}
+}
+
+// TestServerTimeoutClassification: a deadline miss is a Timeout RoundError
+// in the collect phase; a protocol violation is not a timeout.
+func TestServerTimeoutClassification(t *testing.T) {
+	srv := startServer(t, 1, 3)
+	srv.RoundTimeout = 150 * time.Millisecond
+	srv.JoinTimeout = 2 * time.Second
+
+	var dropErr error
+	srv.OnDrop = func(id uint32, round int, err error) { dropErr = err }
+
+	connected := make(chan struct{})
+	go func() {
+		conn, err := Dial(srv.Addr())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		close(connected)
+		// Hang without ever answering.
+		_, _ = readMessage(conn.r)
+		time.Sleep(2 * time.Second)
+	}()
+	<-connected
+	_, err := srv.Serve([]float64{1}, nil)
+	if err == nil {
+		t.Fatal("Serve completed with a silent client below quorum")
+	}
+	var re *RoundError
+	if !errors.As(err, &re) {
+		t.Fatalf("quorum abort %v is not a *RoundError", err)
+	}
+	if re.Phase != PhaseCollect || re.Round != 1 {
+		t.Errorf("abort context round %d phase %q, want round 1 collect", re.Round, re.Phase)
+	}
+	if !re.Timeout() {
+		t.Errorf("straggler drop not classified as timeout: %v", err)
+	}
+	var de *RoundError
+	if !errors.As(dropErr, &de) || !de.Timeout() {
+		t.Errorf("OnDrop error %v not a timeout RoundError", dropErr)
+	}
+}
+
+// TestDialRetryBackoffDeterministic: the retry schedule is capped
+// exponential with seeded jitter — and replays bit-identically.
+func TestDialRetryBackoffDeterministic(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		var slept []time.Duration
+		b := Backoff{
+			Attempts: 5,
+			Base:     100 * time.Millisecond,
+			Max:      400 * time.Millisecond,
+			Jitter:   rand.New(rand.NewSource(seed)),
+			Sleep:    func(d time.Duration) { slept = append(slept, d) },
+		}
+		// 127.0.0.1:1 is reliably closed.
+		if _, err := DialRetry("127.0.0.1:1", 1, b); err == nil {
+			t.Fatal("DialRetry to a closed port succeeded")
+		}
+		return slept
+	}
+	first := schedule(7)
+	if len(first) != 4 {
+		t.Fatalf("5 attempts slept %d times, want 4", len(first))
+	}
+	uncapped := []time.Duration{100, 200, 400, 400} // ms, pre-jitter: base·2^k capped
+	for i, d := range first {
+		hi := uncapped[i] * time.Millisecond
+		if d < hi/2 || d > hi {
+			t.Errorf("delay %d = %v outside jitter window [%v, %v]", i, d, hi/2, hi)
+		}
+	}
+	second := schedule(7)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("backoff schedule not replayable: %v vs %v", first, second)
+		}
+	}
+	// Different seed, different jitter.
+	other := schedule(8)
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("jitter ignores the seed")
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if b.attempts() != 3 {
+		t.Errorf("default attempts = %d, want 3", b.attempts())
+	}
+	if d := b.Delay(0); d != 100*time.Millisecond {
+		t.Errorf("default first delay = %v, want 100ms", d)
+	}
+	if d := b.Delay(20); d != 5*time.Second {
+		t.Errorf("default capped delay = %v, want 5s", d)
+	}
+}
+
+func TestServeRejectsQuorumAboveClients(t *testing.T) {
+	srv := startServer(t, 2, 1)
+	srv.Quorum = 3
+	if _, err := srv.Serve([]float64{1}, nil); err == nil {
+		t.Fatal("quorum above client count accepted")
+	}
+}
+
+// TestParticipantLocalTrainingErrorNotRetried: a device whose own trainer
+// fails must not reconnect — the failure is local, not transport.
+func TestParticipantLocalTrainingErrorNotRetried(t *testing.T) {
+	srv := startServer(t, 1, 3)
+	srv.JoinTimeout = 2 * time.Second
+	sentinel := errors.New("NaN in gradients")
+
+	done := make(chan error, 1)
+	part := &Participant{Addr: srv.Addr(), ID: 1, Retry: Backoff{Attempts: 4, Base: time.Millisecond}}
+	go func() {
+		_, err := part.Run(ClientFunc(func(round int, global []float64) ([]float64, error) {
+			return nil, sentinel
+		}))
+		done <- err
+	}()
+	if _, err := srv.Serve([]float64{1}, nil); err == nil {
+		t.Fatal("Serve completed although its only client failed locally")
+	}
+	err := <-done
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("participant error %v does not wrap the training failure", err)
+	}
+	var re *RoundError
+	if !errors.As(err, &re) || re.Phase != PhaseTrain || re.Round != 1 {
+		t.Fatalf("participant error %v lacks train-phase context", err)
+	}
+	if part.Reconnects() != 0 {
+		t.Errorf("participant reconnected %d times after a local failure, want 0", part.Reconnects())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -11,10 +12,19 @@ import (
 )
 
 // Server is the central aggregation server of Fig. 1 over TCP. It waits for
-// a fixed number of clients, then drives R rounds of the synchronous FedAvg
-// protocol: broadcast the global model, collect one locally optimised model
-// from every client, average. Aggregation is unweighted — every client
-// carries the same weight, as in §III-B.
+// a fixed number of clients, then drives R rounds of the FedAvg protocol:
+// broadcast the global model, collect locally optimised models, average.
+// Aggregation is unweighted — every client carries the same weight, as in
+// §III-B.
+//
+// Unlike the paper's idealised synchronous protocol, the server degrades
+// gracefully: every I/O phase is bounded by a deadline, a client that
+// misses its deadline (or whose connection dies) is dropped from the round,
+// and the round commits as long as at least Quorum updates arrived —
+// averaging only the survivors, so a dead device's stale parameters never
+// reach the global model. Dropped devices may reconnect at any time and
+// rejoin at the next broadcast; the accept loop keeps running for the whole
+// training session.
 type Server struct {
 	ln         net.Listener
 	numClients int
@@ -25,14 +35,38 @@ type Server struct {
 	// aggregation is synchronous, one hung device would otherwise stall the
 	// whole federation indefinitely.
 	RoundTimeout time.Duration
+	// WriteTimeout bounds each broadcast write per client; zero means no
+	// deadline. A client with a full TCP window (dead but not closed)
+	// otherwise wedges the broadcast.
+	WriteTimeout time.Duration
+	// JoinTimeout bounds how long an accepted connection may take to send
+	// its join frame; zero means wait forever. The join read is serialised
+	// in the accept loop, so a silent port-scanner connection would
+	// otherwise block later joiners.
+	JoinTimeout time.Duration
+	// Quorum is the minimum number of client updates a round needs to
+	// commit; 0 means all clients (the paper's fully synchronous setting).
+	// A round that ends with fewer survivors aborts the protocol.
+	Quorum int
+	// Clock supplies the current time for deadline arithmetic; nil means
+	// time.Now. Tests inject a fake to pin deadline placement.
+	Clock func() time.Time
+	// OnDrop, when non-nil, observes every dropped client: its ID, the
+	// round it was lost in, and the error that killed it. Called from the
+	// Serve goroutine only, never concurrently.
+	OnDrop func(id uint32, round int, err error)
 
 	mu        sync.Mutex
 	bytesSent int64
 	bytesRecv int64
+	drops     int64
+	rejoins   int64
+	acceptErr error
 }
 
-// NewServer listens on addr (e.g. "127.0.0.1:0") for exactly numClients
-// clients and will run the given number of rounds.
+// NewServer listens on addr (e.g. "127.0.0.1:0") for numClients clients and
+// will run the given number of rounds. Fault-tolerance knobs (deadlines,
+// quorum, drop observer) are fields set before Serve.
 func NewServer(addr string, numClients, rounds int) (*Server, error) {
 	if numClients <= 0 {
 		return nil, fmt.Errorf("fed: client count %d must be positive", numClients)
@@ -50,7 +84,12 @@ func NewServer(addr string, numClients, rounds int) (*Server, error) {
 // Addr returns the server's listen address, useful when addr was ":0".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops listening. Safe to call after Serve returns.
+// Close shuts the federation down: it closes the listener, and a Serve in
+// progress aborts with a *RoundError at the next round boundary (a server
+// that can never re-admit a dropped device has lost its rejoin guarantee,
+// so running on silently would be lying about fault tolerance). Serve also
+// closes the listener itself on return, so Close after Serve merely
+// reports the double close.
 func (s *Server) Close() error { return s.ln.Close() }
 
 // BytesSent returns the total bytes written to clients so far.
@@ -67,117 +106,276 @@ func (s *Server) BytesReceived() int64 {
 	return s.bytesRecv
 }
 
+// Drops returns how many client connections the server has dropped for
+// deadline misses, protocol violations or transport errors.
+func (s *Server) Drops() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drops
+}
+
+// Rejoins returns how many connections joined after the initial cohort —
+// dropped devices that reconnected.
+func (s *Server) Rejoins() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejoins
+}
+
+// now returns the injected clock's reading.
+func (s *Server) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
+}
+
+// quorum returns the effective per-round quorum.
+func (s *Server) quorum() int {
+	if s.Quorum <= 0 {
+		return s.numClients
+	}
+	return s.Quorum
+}
+
 type serverConn struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	id   uint32 // client ID from the join frame
+	seq  int    // join sequence, tiebreak for duplicate IDs
 }
 
-// Serve accepts the configured number of clients, runs all rounds starting
-// from the initial global model, and returns the final global model. The
-// hook, if non-nil, runs after every aggregation. Serve blocks until
-// training completes or a client fails; on failure the protocol aborts,
-// since synchronous FedAvg cannot proceed without all participants.
-func (s *Server) Serve(initial []float64, hook RoundHook) ([]float64, error) {
-	conns := make([]*serverConn, 0, s.numClients)
-	defer func() {
-		for _, c := range conns {
-			// Best-effort teardown: the protocol outcome is already
-			// decided by the time the connections are torn down.
-			_ = c.conn.Close()
-		}
-	}()
-	for len(conns) < s.numClients {
+// acceptLoop owns the listener: it accepts connections, reads each one's
+// join frame (bounded by JoinTimeout), and delivers joined clients to Serve
+// through the joins channel. It exits — closing the channel — when the
+// listener closes, which Serve does on return; the accept error is parked
+// for Serve to read. Join reads are serialised here on purpose: a join is
+// one 9-byte frame, and a single reader keeps join sequence numbers
+// deterministic.
+func (s *Server) acceptLoop(joins chan<- *serverConn) {
+	defer close(joins)
+	for seq := 0; ; seq++ {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return nil, fmt.Errorf("fed: accept: %w", err)
+			s.mu.Lock()
+			s.acceptErr = err
+			s.mu.Unlock()
+			return
 		}
-		conns = append(conns, &serverConn{
-			conn: conn,
-			r:    bufio.NewReader(conn),
-			w:    bufio.NewWriter(conn),
-		})
+		sc, err := s.readJoin(conn, seq)
+		if err != nil {
+			// A connection that cannot even say hello is not a client.
+			_ = conn.Close()
+			seq--
+			continue
+		}
+		joins <- sc
 	}
+}
 
-	global := append([]float64(nil), initial...)
-	locals := make([][]float64, len(conns))
-
-	for round := 1; round <= s.rounds; round++ {
-		// Broadcast θ_r. Writes are concurrent so a slow client does not
-		// serialise the round start.
-		if err := s.broadcast(conns, message{kind: msgModel, round: round, params: global}); err != nil {
+// readJoin reads and validates the join frame of a fresh connection.
+func (s *Server) readJoin(conn net.Conn, seq int) (*serverConn, error) {
+	if s.JoinTimeout > 0 {
+		if err := conn.SetReadDeadline(s.now().Add(s.JoinTimeout)); err != nil {
 			return nil, err
 		}
-		// Collect θ_r^n from every client (synchronous aggregation: the
-		// server waits for all devices, §III-B).
-		var wg sync.WaitGroup
-		errs := make([]error, len(conns))
-		for i, c := range conns {
-			wg.Add(1)
-			go func(i, round int, c *serverConn) {
-				defer wg.Done()
-				if s.RoundTimeout > 0 {
-					if err := c.conn.SetReadDeadline(time.Now().Add(s.RoundTimeout)); err != nil {
-						errs[i] = fmt.Errorf("fed: client %d set deadline: %w", i, err)
-						return
-					}
-				}
-				m, err := readMessage(c.r)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				if m.kind != msgUpdate {
-					errs[i] = fmt.Errorf("fed: client %d sent message type %d, want update", i, m.kind)
-					return
-				}
-				if m.round != round {
-					errs[i] = fmt.Errorf("fed: client %d answered round %d during round %d", i, m.round, round)
-					return
-				}
-				if len(m.params) != len(global) {
-					errs[i] = fmt.Errorf("fed: client %d sent %d params, want %d", i, len(m.params), len(global))
-					return
-				}
-				locals[i] = m.params
-			}(i, round, c)
+	}
+	sc := &serverConn{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+		seq:  seq,
+	}
+	m, err := readMessage(sc.r)
+	if err != nil {
+		return nil, err
+	}
+	if m.kind != msgJoin {
+		return nil, fmt.Errorf("fed: first frame is message type %d, want join", m.kind)
+	}
+	if s.JoinTimeout > 0 {
+		// Clear the join deadline; round deadlines are set per phase.
+		if err := conn.SetReadDeadline(time.Time{}); err != nil {
+			return nil, err
 		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+	}
+	sc.id = uint32(m.round)
+	return sc, nil
+}
+
+// sortPool orders the client pool by (ID, join sequence), giving every
+// device a stable aggregation slot: with distinct IDs the average is summed
+// in the same order no matter how connects and reconnects interleaved, so
+// runs replay bit-identically.
+func sortPool(pool []*serverConn) {
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].id != pool[j].id {
+			return pool[i].id < pool[j].id
+		}
+		return pool[i].seq < pool[j].seq
+	})
+}
+
+// Serve accepts the initial cohort of clients, runs all rounds starting
+// from the initial global model, and returns the final global model. The
+// hook, if non-nil, runs after every aggregation.
+//
+// Round lifecycle: (1) admit any reconnected devices into the pool,
+// aborting if the listener has died (see Close);
+// (2) broadcast θ_r, dropping clients whose write fails or times out;
+// (3) collect one update per client under RoundTimeout, dropping clients
+// that miss the deadline, answer for the wrong round, or die; (4) if at
+// least Quorum updates survived, average exactly those survivors into the
+// global model, else abort. Serve returns early only when a round cannot
+// reach quorum (or setup fails); individual client failures are absorbed.
+func (s *Server) Serve(initial []float64, hook RoundHook) ([]float64, error) {
+	joins := make(chan *serverConn, s.numClients)
+	go s.acceptLoop(joins)
+
+	var pool []*serverConn
+	defer func() {
+		// Serve owns all connection state: close the listener to stop the
+		// accept loop, then drain it and release every connection. The
+		// protocol outcome is already decided, so close errors carry no
+		// signal.
+		_ = s.ln.Close()
+		for sc := range joins {
+			_ = sc.conn.Close()
+		}
+		for _, sc := range pool {
+			_ = sc.conn.Close()
+		}
+	}()
+
+	quorum := s.quorum()
+	if quorum > s.numClients {
+		return nil, fmt.Errorf("fed: quorum %d exceeds client count %d", quorum, s.numClients)
+	}
+
+	// Initial cohort: the paper's setting, all devices present at the
+	// start.
+	for len(pool) < s.numClients {
+		sc, ok := <-joins
+		if !ok {
+			return nil, fmt.Errorf("fed: accept: %w", s.takeAcceptErr())
+		}
+		pool = append(pool, sc)
+	}
+	sortPool(pool)
+
+	global := append([]float64(nil), initial...)
+
+	for round := 1; round <= s.rounds; round++ {
+		var alive bool
+		pool, alive = s.admit(pool, joins)
+		if !alive {
+			return nil, &RoundError{Round: round, Phase: PhaseBroadcast, Client: -1,
+				Err: fmt.Errorf("listener down, shutting down: %w", s.takeAcceptErr())}
+		}
+		if len(pool) < quorum {
+			return nil, &RoundError{Round: round, Phase: PhaseBroadcast, Client: -1,
+				Err: fmt.Errorf("%d live clients below quorum %d", len(pool), quorum)}
+		}
+
+		pool = s.broadcast(pool, message{kind: msgModel, round: round, params: global}, round)
+		if len(pool) < quorum {
+			return nil, &RoundError{Round: round, Phase: PhaseBroadcast, Client: -1,
+				Err: fmt.Errorf("%d clients reachable after broadcast, quorum %d", len(pool), quorum)}
+		}
+
+		var locals [][]float64
+		var firstErr error
+		pool, locals, firstErr = s.collect(pool, round, len(global))
+		if len(locals) < quorum {
+			return nil, &RoundError{Round: round, Phase: PhaseCollect, Client: -1,
+				Err: fmt.Errorf("%d of %d updates arrived, quorum %d: %w",
+					len(locals), s.numClients, quorum, firstErr)}
 		}
 		s.mu.Lock()
-		for range conns {
-			s.bytesRecv += int64(TransferSize(len(global)))
-		}
+		s.bytesRecv += int64(len(locals) * TransferSize(len(global)))
 		s.mu.Unlock()
 
+		// Quorum aggregation: the unweighted mean of exactly the surviving
+		// clients' parameters, in stable (ID, seq) order.
 		nn.AverageParams(global, locals...)
 		if hook != nil {
 			hook(round, global)
 		}
 	}
 
-	if err := s.broadcast(conns, message{kind: msgDone, round: s.rounds, params: global}); err != nil {
-		return nil, err
-	}
+	// Final model delivery is best-effort per client: a device that died
+	// after the last aggregation cannot invalidate the result.
+	s.broadcast(pool, message{kind: msgDone, round: s.rounds, params: global}, s.rounds)
 	return global, nil
 }
 
-func (s *Server) broadcast(conns []*serverConn, m message) error {
+// takeAcceptErr returns the parked accept-loop error.
+func (s *Server) takeAcceptErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.acceptErr == nil {
+		return fmt.Errorf("listener closed")
+	}
+	return s.acceptErr
+}
+
+// admit moves any reconnected devices from the accept loop into the pool.
+// alive is false once the accept loop has exited (listener closed or
+// broken): the federation can never re-admit a lost device again, which
+// means Close was called or the host is going down — Serve must abort
+// rather than run on silently without its rejoin guarantee.
+func (s *Server) admit(pool []*serverConn, joins <-chan *serverConn) (_ []*serverConn, alive bool) {
+	for {
+		select {
+		case sc, ok := <-joins:
+			if !ok {
+				return pool, false
+			}
+			pool = append(pool, sc)
+			s.mu.Lock()
+			s.rejoins++
+			s.mu.Unlock()
+			sortPool(pool)
+		default:
+			return pool, true
+		}
+	}
+}
+
+// drop removes a client from the protocol: close, count, observe.
+func (s *Server) drop(sc *serverConn, round int, err error) {
+	_ = sc.conn.Close()
+	s.mu.Lock()
+	s.drops++
+	s.mu.Unlock()
+	if s.OnDrop != nil {
+		s.OnDrop(sc.id, round, err)
+	}
+}
+
+// broadcast writes m to every pooled client concurrently (a slow client
+// must not serialise the round start), bounded by WriteTimeout, and returns
+// the clients the write reached. Unreachable clients are dropped, not
+// fatal: whether the round can proceed is the caller's quorum decision.
+func (s *Server) broadcast(pool []*serverConn, m message, round int) []*serverConn {
 	var wg sync.WaitGroup
-	errs := make([]error, len(conns))
-	sent := make([]int, len(conns))
-	for i, c := range conns {
+	errs := make([]error, len(pool))
+	sent := make([]int, len(pool))
+	for i, sc := range pool {
 		wg.Add(1)
-		go func(i int, c *serverConn) {
+		go func(i int, sc *serverConn) {
 			defer wg.Done()
-			n, err := writeMessage(c.w, m)
+			if s.WriteTimeout > 0 {
+				if err := sc.conn.SetWriteDeadline(s.now().Add(s.WriteTimeout)); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			n, err := writeMessage(sc.w, m)
 			sent[i] = n
 			errs[i] = err
-		}(i, c)
+		}(i, sc)
 	}
 	wg.Wait()
 	s.mu.Lock()
@@ -185,10 +383,74 @@ func (s *Server) broadcast(conns []*serverConn, m message) error {
 		s.bytesSent += int64(n)
 	}
 	s.mu.Unlock()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("fed: broadcast to client %d: %w", i, err)
+	alive := pool[:0]
+	for i, sc := range pool {
+		if errs[i] != nil {
+			s.drop(sc, round, &RoundError{Round: round, Phase: PhaseBroadcast, Client: int(sc.id), Err: errs[i]})
+			continue
+		}
+		alive = append(alive, sc)
+	}
+	return alive
+}
+
+// collect reads one round update from every pooled client concurrently,
+// each read bounded by RoundTimeout. It returns the surviving pool, the
+// survivors' parameter vectors in pool (ID, seq) order, and the first
+// failure for quorum-abort diagnostics. Failed clients — deadline misses,
+// dead sockets, wrong round, wrong shape — are dropped; their connections
+// are closed so a straggler's late frame can never desynchronise a later
+// round (the device rejoins with a fresh connection instead).
+func (s *Server) collect(pool []*serverConn, round, numParams int) ([]*serverConn, [][]float64, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, len(pool))
+	updates := make([][]float64, len(pool))
+	for i, sc := range pool {
+		wg.Add(1)
+		go func(i, round int, sc *serverConn) {
+			defer wg.Done()
+			updates[i], errs[i] = s.collectOne(sc, round, numParams)
+		}(i, round, sc)
+	}
+	wg.Wait()
+
+	alive := pool[:0]
+	var locals [][]float64
+	var firstErr error
+	for i, sc := range pool {
+		if errs[i] != nil {
+			wrapped := &RoundError{Round: round, Phase: PhaseCollect, Client: int(sc.id), Err: errs[i]}
+			if firstErr == nil {
+				firstErr = wrapped
+			}
+			s.drop(sc, round, wrapped)
+			continue
+		}
+		alive = append(alive, sc)
+		locals = append(locals, updates[i])
+	}
+	return alive, locals, firstErr
+}
+
+// collectOne reads and validates a single client's update for the round.
+func (s *Server) collectOne(sc *serverConn, round, numParams int) ([]float64, error) {
+	if s.RoundTimeout > 0 {
+		if err := sc.conn.SetReadDeadline(s.now().Add(s.RoundTimeout)); err != nil {
+			return nil, fmt.Errorf("set deadline: %w", err)
 		}
 	}
-	return nil
+	m, err := readMessage(sc.r)
+	if err != nil {
+		return nil, err
+	}
+	if m.kind != msgUpdate {
+		return nil, fmt.Errorf("fed: message type %d, want update", m.kind)
+	}
+	if m.round != round {
+		return nil, fmt.Errorf("fed: answered round %d during round %d", m.round, round)
+	}
+	if len(m.params) != numParams {
+		return nil, fmt.Errorf("fed: sent %d params, want %d", len(m.params), numParams)
+	}
+	return m.params, nil
 }

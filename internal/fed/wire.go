@@ -12,17 +12,22 @@ import (
 // Wire protocol of the TCP transport. Every message is a fixed 9-byte
 // little-endian header followed by an optional float32 parameter payload:
 //
-//	offset 0: type  (uint8)  — msgModel, msgUpdate or msgDone
+//	offset 0: type  (uint8)  — msgModel, msgUpdate, msgDone or msgJoin
 //	offset 1: round (uint32) — 1-based federated round number
 //	offset 5: count (uint32) — number of float32 parameters that follow
 //
 // A model payload for the paper's 687-parameter network is 2748 bytes,
 // matching the 2.8 kB per transfer reported in §IV-C (the 9-byte header is
-// protocol framing, not model data).
+// protocol framing, not model data). The join frame reuses the header with
+// the round field carrying the device's self-assigned client ID; it is sent
+// once per connection so the server can give every device a stable
+// aggregation slot across reconnects (byte counters exclude it — they track
+// model-bearing traffic, the paper's metric).
 const (
 	msgModel  = byte(1) // server → client: global model for the round
 	msgUpdate = byte(2) // client → server: locally optimised model
 	msgDone   = byte(3) // server → client: training finished, payload = final model
+	msgJoin   = byte(4) // client → server: hello after dial; round field = client ID, no payload
 )
 
 const headerSize = 9
@@ -68,7 +73,7 @@ func readMessage(r *bufio.Reader) (message, error) {
 		return message{}, fmt.Errorf("fed: read header: %w", err)
 	}
 	kind := hdr[0]
-	if kind != msgModel && kind != msgUpdate && kind != msgDone {
+	if kind != msgModel && kind != msgUpdate && kind != msgDone && kind != msgJoin {
 		return message{}, fmt.Errorf("fed: unknown message type %d", kind)
 	}
 	round := int(binary.LittleEndian.Uint32(hdr[1:]))

@@ -8,10 +8,12 @@ import (
 
 // NoClock forbids reading the wall clock in the simulated-time packages.
 // internal/sim advances a virtual clock in fixed control intervals, and
-// internal/core, internal/nn and internal/experiment must be pure functions
-// of their inputs plus injected randomness — a time.Now or time.Sleep in
-// any of them silently couples results to the host's scheduler and defeats
-// bit-identical replication. internal/fed (a real TCP transport with
+// internal/core, internal/nn, internal/experiment and internal/faultnet
+// must be pure functions of their inputs plus injected randomness — a
+// time.Now or time.Sleep in any of them silently couples results to the
+// host's scheduler and defeats bit-identical replication (for faultnet it
+// would break schedule replay, the property its Delay faults route through
+// an injected Sleep to preserve). internal/fed (a real TCP transport with
 // deadlines) and the cmd/ and examples/ binaries are exempt.
 //
 // Calls are the violation, not references: passing time.Now as a func
@@ -26,6 +28,7 @@ var noClockPackages = []string{
 	"/internal/core",
 	"/internal/nn",
 	"/internal/experiment",
+	"/internal/faultnet",
 }
 
 // clockFuncs are the time package functions that read or wait on the wall

@@ -8,7 +8,12 @@
 #                        float tolerance, goroutine discipline; internal/lint)
 #   4. go test         — tier-1 tests, including the fedlint self-check and
 #                        the wire-format fuzz seed corpus
-#   5. go test -race   — race detector over the concurrent packages
+#   5. go test -race   — race detector over every package (the federation,
+#                        faultnet and experiment tests exercise real
+#                        concurrency: quorum rounds with slow/dead clients)
+#   6. determinism     — the resilience tests twice over: fault-injection
+#                        schedules and zero-fault TCP runs must replay
+#                        bit-identically
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +29,10 @@ go run ./cmd/fedlint ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/fed/... ./internal/experiment/..."
-go test -race ./internal/fed/... ./internal/experiment/...
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> go test -run Resilience -count=2 (determinism replay)"
+go test -run Resilience -count=2 ./internal/fed/... ./internal/experiment/...
 
 echo "==> all checks passed"
