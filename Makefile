@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the same gate CI runs.
 
-.PHONY: check build vet lint test race determinism fuzz
+.PHONY: check build vet lint lint-sarif bench-lint test race determinism fuzz
 
 check:
 	./scripts/check.sh
@@ -11,8 +11,19 @@ build:
 vet:
 	go vet ./...
 
+# Timed so suite-cost regressions are visible at every invocation; CI
+# additionally enforces a hard wall-clock budget (scripts/check.sh).
 lint:
-	go run ./cmd/fedlint ./...
+	time go run ./cmd/fedlint ./...
+
+# Machine-readable findings for CI artifacts and SARIF viewers.
+lint-sarif:
+	go run ./cmd/fedlint -sarif ./...
+
+# Benchmarks the analyzer suite (parse/type-check excluded) — the number
+# the fedlint wall-clock budget guards.
+bench-lint:
+	go test -bench 'DefaultSuite|PrivacyTaint' -benchmem -run XXX ./internal/lint/
 
 test:
 	go test ./...

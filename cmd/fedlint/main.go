@@ -9,10 +9,16 @@
 //	go run ./cmd/fedlint ./...          # whole module
 //	go run ./cmd/fedlint ./internal/fed # findings under one tree only
 //	go run ./cmd/fedlint -list          # describe the analyzer suite
+//	go run ./cmd/fedlint -json ./...    # findings as a JSON array
+//	go run ./cmd/fedlint -sarif ./...   # findings as SARIF 2.1.0 (CI artifact)
 //
 // Arguments select which directories' findings are reported; the whole
 // module is always loaded and type-checked so cross-package types resolve.
-// Exit status: 0 clean, 1 findings, 2 load or usage error.
+// Interprocedural findings (privacytaint) carry their full source → sink
+// path: as indented hops in text mode, a "path" array in -json, and
+// codeFlows in -sarif. Exit status: 0 clean, 1 findings, 2 load or usage
+// error (-json/-sarif keep the same exit contract, so CI can both archive
+// the artifact and gate on it).
 package main
 
 import (
@@ -27,11 +33,16 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzer suite and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
+	asSARIF := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fedlint [-list] [path ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: fedlint [-list] [-json|-sarif] [path ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *asJSON && *asSARIF {
+		fatal(fmt.Errorf("-json and -sarif are mutually exclusive"))
+	}
 
 	suite := lint.DefaultSuite()
 	if *list {
@@ -56,16 +67,29 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, suite)
-	shown := 0
+	var shown []lint.Diagnostic
 	for _, d := range diags {
-		if !filters.match(d.Pos.Filename) {
-			continue
+		if filters.match(d.Pos.Filename) {
+			shown = append(shown, d)
 		}
-		fmt.Println(d)
-		shown++
 	}
-	if shown > 0 {
-		fmt.Fprintf(os.Stderr, "fedlint: %d finding(s)\n", shown)
+
+	switch {
+	case *asJSON:
+		if err := writeJSON(os.Stdout, cwd, shown); err != nil {
+			fatal(err)
+		}
+	case *asSARIF:
+		if err := writeSARIF(os.Stdout, cwd, suite, shown); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, d := range shown {
+			fmt.Println(d)
+		}
+	}
+	if len(shown) > 0 {
+		fmt.Fprintf(os.Stderr, "fedlint: %d finding(s)\n", len(shown))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"fedpower/internal/lint"
+)
+
+// This file renders findings in machine-readable formats. Both encoders
+// receive the already-filtered diagnostic slice and relativize file paths
+// against the module root, so output is stable across checkouts and usable
+// as a CI artifact.
+
+// jsonHop mirrors lint.Hop with a flat position.
+type jsonHop struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	Note   string `json:"note"`
+}
+
+// jsonFinding is one diagnostic in -json mode.
+type jsonFinding struct {
+	Analyzer string    `json:"analyzer"`
+	File     string    `json:"file"`
+	Line     int       `json:"line"`
+	Column   int       `json:"column"`
+	Message  string    `json:"message"`
+	Path     []jsonHop `json:"path,omitempty"`
+}
+
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// writeJSON emits findings as a JSON array (never null, so consumers can
+// range without a nil check).
+func writeJSON(w io.Writer, root string, diags []lint.Diagnostic) error {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		f := jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		}
+		for _, h := range d.Path {
+			f.Path = append(f.Path, jsonHop{
+				File:   relPath(root, h.Pos.Filename),
+				Line:   h.Pos.Line,
+				Column: h.Pos.Column,
+				Note:   h.Note,
+			})
+		}
+		out = append(out, f)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 skeleton — the subset GitHub code scanning and most SARIF
+// viewers consume: one run, one rule per analyzer, one result per finding,
+// taint paths as codeFlows/threadFlows.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	CodeFlows []sarifCodeFlow `json:"codeFlows,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifCodeFlow struct {
+	ThreadFlows []sarifThreadFlow `json:"threadFlows"`
+}
+
+type sarifThreadFlow struct {
+	Locations []sarifThreadFlowLoc `json:"locations"`
+}
+
+type sarifThreadFlowLoc struct {
+	Location sarifLocation `json:"location"`
+}
+
+func sarifLoc(root string, pos lintPos, msg string) sarifLocation {
+	loc := sarifLocation{
+		PhysicalLocation: sarifPhysical{
+			ArtifactLocation: sarifArtifact{URI: relPath(root, pos.Filename)},
+			Region:           sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
+		},
+	}
+	if msg != "" {
+		loc.Message = &sarifMessage{Text: msg}
+	}
+	return loc
+}
+
+// lintPos is the position triple shared by diagnostics and hops.
+type lintPos struct {
+	Filename     string
+	Line, Column int
+}
+
+// writeSARIF emits findings as a SARIF 2.1.0 log. Taint paths become
+// codeFlows so SARIF viewers step through the source → sink chain.
+func writeSARIF(w io.Writer, root string, suite []lint.Analyzer, diags []lint.Diagnostic) error {
+	rules := make([]sarifRule, 0, len(suite)+1)
+	for _, a := range suite {
+		rules = append(rules, sarifRule{
+			ID:               a.Name(),
+			ShortDescription: sarifMessage{Text: a.Doc()},
+		})
+	}
+	// Run-level synthetic findings not tied to one analyzer's Check.
+	rules = append(rules, sarifRule{
+		ID:               "unusedignore",
+		ShortDescription: sarifMessage{Text: "//fedlint:ignore directive that no longer suppresses any finding"},
+	})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{
+				sarifLoc(root, lintPos{d.Pos.Filename, d.Pos.Line, d.Pos.Column}, ""),
+			},
+		}
+		if len(d.Path) > 0 {
+			tf := sarifThreadFlow{}
+			for i, h := range d.Path {
+				tf.Locations = append(tf.Locations, sarifThreadFlowLoc{
+					Location: sarifLoc(root, lintPos{h.Pos.Filename, h.Pos.Line, h.Pos.Column},
+						fmt.Sprintf("[%d] %s", i+1, h.Note)),
+				})
+			}
+			res.CodeFlows = []sarifCodeFlow{{ThreadFlows: []sarifThreadFlow{tf}}}
+		}
+		results = append(results, res)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "fedlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

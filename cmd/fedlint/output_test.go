@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"fedpower/internal/lint"
+)
+
+func sampleDiags() []lint.Diagnostic {
+	return []lint.Diagnostic{
+		{
+			Analyzer: "privacytaint",
+			Pos:      token.Position{Filename: "/mod/internal/fed/client.go", Line: 42, Column: 7},
+			Message:  "raw telemetry reaches the federated wire",
+			Path: []lint.Hop{
+				{Pos: token.Position{Filename: "/mod/internal/sim/device.go", Line: 9, Column: 3}, Note: "assigned to obs"},
+				{Pos: token.Position{Filename: "/mod/internal/fed/client.go", Line: 42, Column: 7}, Note: "passed to sink"},
+			},
+		},
+		{
+			Analyzer: "norand",
+			Pos:      token.Position{Filename: "/mod/main.go", Line: 3, Column: 1},
+			Message:  "global rand",
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, "/mod", sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2", len(got))
+	}
+	if got[0].File != "internal/fed/client.go" || got[0].Line != 42 {
+		t.Errorf("first finding position = %s:%d, want internal/fed/client.go:42", got[0].File, got[0].Line)
+	}
+	if len(got[0].Path) != 2 || got[0].Path[0].Note != "assigned to obs" {
+		t.Errorf("taint path not preserved: %+v", got[0].Path)
+	}
+	if len(got[1].Path) != 0 {
+		t.Errorf("single-site finding grew a path: %+v", got[1].Path)
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, "/mod", nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty run must encode as [], got %q", buf.String())
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, "/mod", lint.DefaultSuite(), sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("malformed SARIF envelope: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "fedlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"norand", "privacytaint", "unusedignore"} {
+		if !ruleIDs[want] {
+			t.Errorf("rule %q missing from driver rules", want)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	taint := run.Results[0]
+	if len(taint.CodeFlows) != 1 || len(taint.CodeFlows[0].ThreadFlows) != 1 {
+		t.Fatalf("taint finding missing codeFlow: %+v", taint.CodeFlows)
+	}
+	locs := taint.CodeFlows[0].ThreadFlows[0].Locations
+	if len(locs) != 2 {
+		t.Fatalf("got %d threadFlow locations, want 2", len(locs))
+	}
+	if uri := locs[0].Location.PhysicalLocation.ArtifactLocation.URI; uri != "internal/sim/device.go" {
+		t.Errorf("first hop URI = %q", uri)
+	}
+	if len(run.Results[1].CodeFlows) != 0 {
+		t.Errorf("single-site finding grew a codeFlow")
+	}
+}

@@ -23,6 +23,15 @@ import (
 // once per connection so the server can give every device a stable
 // aggregation slot across reconnects (byte counters exclude it — they track
 // model-bearing traffic, the paper's metric).
+//
+// Privacy contract: the payload carries learned model parameters and
+// nothing else — never raw telemetry (observations, power readings,
+// traces). This is the paper's federated-learning privacy claim, and it is
+// machine-checked: the privacytaint analyzer (internal/lint) treats
+// message.params and every Write in this package as a sink and proves no
+// telemetry-derived value reaches them, with (*nn.Network).Params as the
+// only sanctioned declassification. See DESIGN.md, "Machine-checked
+// privacy boundary".
 const (
 	msgModel  = byte(1) // server → client: global model for the round
 	msgUpdate = byte(2) // client → server: locally optimised model

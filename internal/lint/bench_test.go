@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"os"
+	"testing"
+)
+
+// BenchmarkDefaultSuite measures one full analyzer-suite pass over the real
+// module (parse/type-check excluded — LoadModule runs outside the timer).
+// This is the number the CI wall-clock budget in scripts/check.sh guards:
+// the interprocedural taint pass must stay cheap enough to run on every
+// test invocation.
+func BenchmarkDefaultSuite(b *testing.B) {
+	wd, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := LoadModule(wd)
+	if err != nil {
+		b.Fatalf("load module: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := Run(pkgs, DefaultSuite()); len(diags) != 0 {
+			b.Fatalf("module not lint-clean during benchmark: %d findings", len(diags))
+		}
+	}
+}
+
+// BenchmarkPrivacyTaint isolates the interprocedural layer: module index
+// construction plus taint-graph build and search.
+func BenchmarkPrivacyTaint(b *testing.B) {
+	wd, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := LoadModule(wd)
+	if err != nil {
+		b.Fatalf("load module: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod := NewModule(pkgs)
+		if diags := (PrivacyTaint{Config: DefaultPrivacyConfig()}).CheckModule(mod); len(diags) != 0 {
+			b.Fatalf("module not taint-clean during benchmark: %d findings", len(diags))
+		}
+	}
+}

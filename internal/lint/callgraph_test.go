@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// wrapperSrc is the wrapper-launch pattern the fed transport uses: the
+// goroutine body is a named method whose own body signals on a done
+// channel, so nothing at the launch site mentions supervision.
+const wrapperSrc = `package p
+
+type pool struct {
+	done chan struct{}
+}
+
+func (p *pool) run() {
+	p.done <- struct{}{}
+}
+
+func (p *pool) Start() {
+	go p.run()
+}
+`
+
+func TestGoLaunchWrapperIntraproceduralFlags(t *testing.T) {
+	pkg := loadFixture(t, "unit/p", wrapperSrc)
+	// Per-package Check has no call graph: the wrapper launch looks
+	// unsupervised.
+	diags := GoLaunch{}.Check(pkg)
+	if len(diags) != 1 || diags[0].Pos.Line != 12 {
+		t.Fatalf("intraprocedural check: got %s, want one finding at line 12", renderDiags(diags))
+	}
+}
+
+func TestGoLaunchWrapperInterproceduralClean(t *testing.T) {
+	// Through Run (module-wide), the call graph sees run's channel send.
+	diags := runOn(t, GoLaunch{}, "unit/p", wrapperSrc)
+	wantFindings(t, diags, "golaunch")
+}
+
+func TestGoLaunchWrapperTransitiveSignal(t *testing.T) {
+	// The signal may live one more call deep: run delegates to finish.
+	src := `package p
+
+type pool struct {
+	done chan struct{}
+}
+
+func (p *pool) finish() {
+	close(p.done)
+}
+
+func (p *pool) run() {
+	p.finish()
+}
+
+func (p *pool) Start() {
+	go p.run()
+}
+`
+	diags := runOn(t, GoLaunch{}, "unit/p", src)
+	wantFindings(t, diags, "golaunch")
+}
+
+func TestGoLaunchWrapperWithoutSignalStillFlags(t *testing.T) {
+	// A wrapper whose body never signals stays a finding module-wide.
+	src := `package p
+
+type pool struct{ n int }
+
+func (p *pool) run() {
+	p.n++
+}
+
+func (p *pool) Start() {
+	go p.run()
+}
+`
+	diags := runOn(t, GoLaunch{}, "unit/p", src)
+	wantFindings(t, diags, "golaunch", 10)
+}
+
+func TestModuleStaticCalleeAndSignals(t *testing.T) {
+	pkg := loadFixture(t, "unit/p", wrapperSrc)
+	mod := NewModule([]*Package{pkg})
+
+	var startBody, runBody *FuncBody
+	for _, fn := range mod.Funcs() {
+		switch fn.Name() {
+		case "Start":
+			startBody = mod.Body(fn)
+		case "run":
+			runBody = mod.Body(fn)
+			if !mod.Signals(fn) {
+				t.Error("run sends on p.done but Signals reports false")
+			}
+		}
+	}
+	if startBody == nil || runBody == nil {
+		t.Fatal("Funcs did not surface Start and run")
+	}
+
+	// The call inside Start's go statement must resolve to run.
+	found := false
+	ast.Inspect(startBody.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, iface := mod.StaticCallee(pkg, call)
+		if fn != nil && fn.Name() == "run" {
+			found = true
+			if iface {
+				t.Error("p.run() resolved as an interface call")
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Error("StaticCallee failed to resolve go p.run()")
+	}
+}
+
+func TestModuleImplementations(t *testing.T) {
+	src := `package p
+
+type Trainer interface {
+	Train(x float64) float64
+}
+
+type linear struct{ w float64 }
+
+func (l *linear) Train(x float64) float64 { return l.w * x }
+
+type constant struct{}
+
+func (constant) Train(x float64) float64 { return x }
+
+var _ Trainer = (*linear)(nil)
+var _ Trainer = constant{}
+`
+	pkg := loadFixture(t, "unit/p", src)
+	mod := NewModule([]*Package{pkg})
+
+	var ifaceTrain *types.Func
+	scope := pkg.Types.Scope()
+	tn := scope.Lookup("Trainer").(*types.TypeName)
+	iface := tn.Type().Underlying().(*types.Interface)
+	ifaceTrain = iface.Method(0)
+
+	impls := mod.Implementations(ifaceTrain)
+	if len(impls) != 2 {
+		t.Fatalf("got %d implementations of Trainer.Train, want 2", len(impls))
+	}
+	names := map[string]bool{}
+	for _, im := range impls {
+		names[im.FullName()] = true
+	}
+	if !names["(*unit/p.linear).Train"] || !names["(unit/p.constant).Train"] {
+		t.Errorf("unexpected implementation set %v", names)
+	}
+}

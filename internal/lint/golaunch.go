@@ -18,15 +18,35 @@ import (
 // fire-and-forget goroutine can be allowlisted with a documented
 // //fedlint:ignore golaunch directive. Commands and examples are exempt
 // (their goroutines die with the process).
+//
+// Supervision is checked interprocedurally when the whole module is
+// available: `go p.worker()` counts as supervised when worker's own body
+// (or any in-module function it statically calls) sends on a channel,
+// closes one, or touches a sync.WaitGroup — the wrapper-launch pattern the
+// fed and faultnet transports use. Per-package runs fall back to the
+// launch-site-only heuristic.
 type GoLaunch struct{}
 
 func (GoLaunch) Name() string { return "golaunch" }
 
 func (GoLaunch) Doc() string {
-	return "flag goroutine launches in library packages that capture loop variables or lack WaitGroup/done-channel supervision"
+	return "flag goroutine launches in library packages that capture loop variables or lack WaitGroup/done-channel supervision (checked through wrapper calls module-wide)"
 }
 
-func (GoLaunch) Check(pkg *Package) []Diagnostic {
+// Check is the per-package, launch-site-only variant.
+func (g GoLaunch) Check(pkg *Package) []Diagnostic { return g.check(pkg, nil) }
+
+// CheckModule checks every package with interprocedural supervision: the
+// call graph makes goroutines launched via wrappers visible.
+func (g GoLaunch) CheckModule(mod *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		out = append(out, g.check(pkg, mod)...)
+	}
+	return out
+}
+
+func (GoLaunch) check(pkg *Package, mod *Module) []Diagnostic {
 	if pkg.IsCommand() {
 		return nil
 	}
@@ -50,7 +70,7 @@ func (GoLaunch) Check(pkg *Package) []Diagnostic {
 					})
 				}
 			}
-			if !supervisedLaunch(pkg, gs, lit) {
+			if !supervisedLaunch(pkg, gs, lit) && !supervisedThroughCallees(pkg, mod, gs, lit) {
 				out = append(out, Diagnostic{
 					Analyzer: "golaunch",
 					Pos:      pos,
@@ -61,6 +81,36 @@ func (GoLaunch) Check(pkg *Package) []Diagnostic {
 		})
 	}
 	return out
+}
+
+// supervisedThroughCallees is the interprocedural fallback: the launched
+// function itself — or, for a literal, a function its body statically calls
+// — performs the completion signal. Requires a Module; per-package runs
+// pass nil and keep the launch-site-only behavior.
+func supervisedThroughCallees(pkg *Package, mod *Module, gs *ast.GoStmt, lit *ast.FuncLit) bool {
+	if mod == nil {
+		return false
+	}
+	if lit == nil {
+		if callee, iface := mod.StaticCallee(pkg, gs.Call); callee != nil && !iface {
+			return mod.Signals(callee)
+		}
+		return false
+	}
+	supervised := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if supervised {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee, iface := mod.StaticCallee(pkg, call); callee != nil && !iface && mod.Signals(callee) {
+				supervised = true
+				return false
+			}
+		}
+		return true
+	})
+	return supervised
 }
 
 // capturedLoopVars returns the names of enclosing-loop iteration variables

@@ -38,10 +38,25 @@ type Diagnostic struct {
 	Pos token.Position
 	// Message states the violated invariant and the sanctioned fix.
 	Message string
+	// Path, for interprocedural findings, is the full source → … → sink
+	// value flow, one hop per position. Empty for single-site findings.
+	Path []Hop
+}
+
+// Hop is one step of an interprocedural flow path.
+type Hop struct {
+	// Pos locates the statement or expression performing this flow step.
+	Pos token.Position
+	// Note describes the step, e.g. "passed to flatten (param o)".
+	Note string
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	for i, h := range d.Path {
+		s += fmt.Sprintf("\n    [%d] %s:%d:%d: %s", i+1, h.Pos.Filename, h.Pos.Line, h.Pos.Column, h.Note)
+	}
+	return s
 }
 
 // Analyzer checks one invariant over a type-checked package.
@@ -54,6 +69,16 @@ type Analyzer interface {
 	Check(pkg *Package) []Diagnostic
 }
 
+// ModuleAnalyzer is an Analyzer that needs the whole module at once —
+// interprocedural analyses like privacytaint, whose findings span call
+// chains across packages. Run invokes CheckModule once over a shared
+// Module instead of Check per package.
+type ModuleAnalyzer interface {
+	Analyzer
+	// CheckModule returns every violation found across the module.
+	CheckModule(mod *Module) []Diagnostic
+}
+
 // DefaultSuite returns the full fedpower analyzer suite in output order.
 func DefaultSuite() []Analyzer {
 	return []Analyzer{
@@ -62,24 +87,40 @@ func DefaultSuite() []Analyzer {
 		WireErr{},
 		FloatEq{},
 		GoLaunch{},
+		PrivacyTaint{Config: DefaultPrivacyConfig()},
 	}
 }
 
-// Run executes every analyzer over every package, drops findings suppressed
-// by //fedlint:ignore directives, and returns the rest sorted by position.
+// Run executes every analyzer over every package (module analyzers run once
+// over the whole set), drops findings suppressed by //fedlint:ignore
+// directives, reports directives that no longer suppress anything, and
+// returns the rest sorted by position.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	ignores := collectIgnores(pkgs)
+	running := make(map[string]bool, len(analyzers))
+	var mod *Module
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg)
-		for _, a := range analyzers {
-			for _, d := range a.Check(pkg) {
-				if ignores.suppresses(d) {
-					continue
-				}
-				out = append(out, d)
+	for _, a := range analyzers {
+		running[a.Name()] = true
+		var diags []Diagnostic
+		if ma, ok := a.(ModuleAnalyzer); ok {
+			if mod == nil {
+				mod = NewModule(pkgs)
+			}
+			diags = ma.CheckModule(mod)
+		} else {
+			for _, pkg := range pkgs {
+				diags = append(diags, a.Check(pkg)...)
 			}
 		}
+		for _, d := range diags {
+			if ignores.suppresses(d) {
+				continue
+			}
+			out = append(out, d)
+		}
 	}
+	out = append(out, ignores.unused(running)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -100,9 +141,13 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 type ignoreDirective struct {
 	// analyzers lists the suppressed analyzer names; empty means all.
 	analyzers []string
+	// pos is where the directive comment sits, for unused-ignore reporting.
+	pos token.Position
+	// used records whether the directive suppressed at least one finding.
+	used bool
 }
 
-func (d ignoreDirective) covers(analyzer string) bool {
+func (d *ignoreDirective) covers(analyzer string) bool {
 	if len(d.analyzers) == 0 {
 		return true
 	}
@@ -114,11 +159,12 @@ func (d ignoreDirective) covers(analyzer string) bool {
 	return false
 }
 
-// ignoreSet maps file -> line -> directive for one package.
-type ignoreSet map[string]map[int]ignoreDirective
+// ignoreSet maps file -> line -> directive across the analyzed packages.
+type ignoreSet map[string]map[int]*ignoreDirective
 
 // suppresses reports whether a directive on the diagnostic's line or the
-// line directly above it covers the diagnostic's analyzer.
+// line directly above it covers the diagnostic's analyzer, marking the
+// directive as used.
 func (s ignoreSet) suppresses(d Diagnostic) bool {
 	lines := s[d.Pos.Filename]
 	if lines == nil {
@@ -126,10 +172,47 @@ func (s ignoreSet) suppresses(d Diagnostic) bool {
 	}
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
 		if dir, ok := lines[line]; ok && dir.covers(d.Analyzer) {
+			dir.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// unused reports every directive that suppressed nothing even though every
+// analyzer it is scoped to was part of this run — suppression debt that
+// must be paid down, not left to rot. A directive scoped to an analyzer
+// outside the running set is skipped: it may still be load-bearing under
+// the full suite.
+func (s ignoreSet) unused(running map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, lines := range s {
+		for _, dir := range lines {
+			if dir.used {
+				continue
+			}
+			coverable := true
+			for _, a := range dir.analyzers {
+				if !running[a] {
+					coverable = false
+					break
+				}
+			}
+			if !coverable {
+				continue
+			}
+			scope := "any analyzer"
+			if len(dir.analyzers) > 0 {
+				scope = strings.Join(dir.analyzers, ",")
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "unusedignore",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("//fedlint:ignore directive (scope: %s) suppresses nothing; remove it or fix the drifted code it once covered", scope),
+			})
+		}
+	}
+	return out
 }
 
 const ignorePrefix = "//fedlint:ignore"
@@ -145,22 +228,25 @@ var knownAnalyzers = func() map[string]bool {
 	return m
 }()
 
-func collectIgnores(pkg *Package) ignoreSet {
+func collectIgnores(pkgs []*Package) ignoreSet {
 	set := make(ignoreSet)
-	for _, file := range pkg.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				dir, ok := parseIgnore(c.Text)
-				if !ok {
-					continue
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					dir, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					dir.pos = pos
+					lines := set[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]*ignoreDirective)
+						set[pos.Filename] = lines
+					}
+					lines[pos.Line] = &dir
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				lines := set[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]ignoreDirective)
-					set[pos.Filename] = lines
-				}
-				lines[pos.Line] = dir
 			}
 		}
 	}

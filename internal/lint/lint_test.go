@@ -26,6 +26,7 @@ func loadFixture(t *testing.T, importPath, src string) *Package {
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
 	}
 	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", nil)}
 	tpkg, err := conf.Check(importPath, fset, []*ast.File{file}, info)
@@ -348,4 +349,50 @@ func TestParseIgnoreForms(t *testing.T) {
 			t.Errorf("parseIgnore(%q) must not cover %s", c.text, c.excluded)
 		}
 	}
+}
+
+func TestUnusedIgnoreReported(t *testing.T) {
+	// A directive whose analyzer runs but which suppresses nothing is
+	// itself a finding: stale allowlists must not accumulate.
+	src := `package sim
+
+import "math/rand"
+
+func ok(r *rand.Rand) int {
+	//fedlint:ignore norand nothing on this line violates norand
+	return r.Intn(10)
+}
+`
+	diags := runOn(t, NoRand{}, "fedpower/internal/sim", src)
+	wantFindings(t, diags, "unusedignore", 6)
+}
+
+func TestUnusedIgnoreSilentWhenAnalyzerNotRunning(t *testing.T) {
+	// In a partial run (single analyzer), a directive naming an analyzer
+	// that did not run may well be load-bearing — it must not be reported.
+	src := `package sim
+
+import "math/rand"
+
+func ok(r *rand.Rand) int {
+	//fedlint:ignore floateq covered only in full-suite runs
+	return r.Intn(10)
+}
+`
+	diags := runOn(t, NoRand{}, "fedpower/internal/sim", src)
+	wantFindings(t, diags, "unusedignore")
+}
+
+func TestUsedIgnoreNotReported(t *testing.T) {
+	src := `package sim
+
+import "math/rand"
+
+func bad() int {
+	//fedlint:ignore norand deliberate for the test
+	return rand.Intn(10)
+}
+`
+	diags := runOn(t, NoRand{}, "fedpower/internal/sim", src)
+	wantFindings(t, diags, "norand")
 }

@@ -112,6 +112,7 @@ func LoadModule(root string) ([]*Package, error) {
 			Defs:       make(map[*ast.Ident]types.Object),
 			Uses:       make(map[*ast.Ident]types.Object),
 			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
 		}
 		conf := types.Config{Importer: imp}
 		tpkg, err := conf.Check(path, fset, rp.files, info)

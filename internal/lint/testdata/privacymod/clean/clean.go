@@ -1,0 +1,21 @@
+// Package clean is the sanctioned federated flow: telemetry trains the
+// local model, and only the declassified parameter vector reaches the
+// wire. privacytaint must stay silent here — with no ignore directive.
+package clean
+
+import (
+	"io"
+
+	"privacymod/model"
+	"privacymod/sensor"
+	"privacymod/wire"
+)
+
+// Round runs local training on raw telemetry, then ships the model
+// parameters — the exact shape of the paper's privacy argument.
+func Round(w io.Writer, mdl *model.Model, mtr *sensor.Meter) error {
+	for i := 0; i < 3; i++ {
+		mdl.Train(mtr.Read())
+	}
+	return wire.Send(w, mdl.Params())
+}

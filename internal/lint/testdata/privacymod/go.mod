@@ -1,0 +1,3 @@
+module privacymod
+
+go 1.22

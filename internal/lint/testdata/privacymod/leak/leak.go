@@ -1,0 +1,39 @@
+// Package leak holds the planted privacy violations the golden test pins:
+// a direct leak, a leak through a helper call, and a leak through struct
+// embedding. Each must be caught with a full source → sink path.
+package leak
+
+import (
+	"io"
+
+	"privacymod/sensor"
+	"privacymod/wire"
+)
+
+// Direct copies one power reading straight into the wire payload.
+func Direct(w io.Writer, m *sensor.Meter) error {
+	obs := m.Read()
+	return wire.Send(w, []float64{obs.PowerW})
+}
+
+// Helper leaks the same reading through an intermediate flatten call.
+func Helper(w io.Writer, m *sensor.Meter) error {
+	obs := m.Read()
+	return wire.Send(w, flatten(obs))
+}
+
+func flatten(o sensor.Observation) []float64 {
+	return []float64{o.PowerW, o.IPC}
+}
+
+// Sample embeds the telemetry type, hiding it one selection deep.
+type Sample struct {
+	sensor.Observation
+	Weight float64
+}
+
+// Embedded leaks a reading that arrived via the embedded field.
+func Embedded(w io.Writer, m *sensor.Meter) error {
+	s := Sample{Observation: m.Read(), Weight: 1}
+	return wire.Send(w, []float64{s.PowerW, s.Weight})
+}

@@ -1,0 +1,32 @@
+// Package model is the fixture's stand-in for internal/nn: telemetry may
+// shape the weights locally (Train), and Params is the allowlisted
+// declassification boundary — the only sanctioned way data derived from
+// observations leaves the device.
+package model
+
+import "privacymod/sensor"
+
+// Model is a trivially trainable parameter vector.
+type Model struct {
+	params []float64
+}
+
+// New returns a zero model with n parameters.
+func New(n int) *Model {
+	return &Model{params: make([]float64, n)}
+}
+
+// Train folds one observation into the weights — the sanctioned local
+// learning update.
+func (m *Model) Train(o sensor.Observation) {
+	for i := range m.params {
+		m.params[i] += 1e-3 * (o.PowerW - o.IPC)
+	}
+}
+
+// Params returns the learned parameter vector. Its results are clean by
+// contract (the fixture config allowlists this function), mirroring
+// (*nn.Network).Params in the real module.
+func (m *Model) Params() []float64 {
+	return m.params
+}

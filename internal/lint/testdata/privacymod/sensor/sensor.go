@@ -1,0 +1,23 @@
+// Package sensor is the fixture's stand-in for internal/sim: Observation
+// is the telemetry source type the privacy analysis must keep off the
+// wire, and Meter.Read is the accessor producing it.
+package sensor
+
+// Observation is one interval's raw telemetry readings.
+type Observation struct {
+	PowerW float64
+	IPC    float64
+	Level  int
+}
+
+// Meter produces observations.
+type Meter struct {
+	last Observation
+}
+
+// Read returns the latest telemetry reading (a configured source function).
+func (m *Meter) Read() Observation {
+	m.last.PowerW += 0.5
+	m.last.IPC += 0.01
+	return m.last
+}

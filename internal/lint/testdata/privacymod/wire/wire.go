@@ -1,0 +1,20 @@
+// Package wire is the fixture's stand-in for internal/fed's wire layer:
+// Send is the configured sink function, and every Write-style call inside
+// this package is a writer sink.
+package wire
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+)
+
+// Send frames a parameter vector onto the federated wire.
+func Send(w io.Writer, params []float64) error {
+	buf := make([]byte, 8*len(params))
+	for i, p := range params {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(p))
+	}
+	_, err := w.Write(buf)
+	return err
+}

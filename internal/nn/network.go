@@ -110,6 +110,13 @@ func (n *Network) NumParams() int { return len(n.params) }
 
 // Params returns the live flat parameter vector. Mutating it mutates the
 // network; callers that need a snapshot should copy it.
+//
+// Params is the module's sanctioned privacy declassification point:
+// telemetry shapes these weights through training, but the vector itself
+// is the only telemetry-derived data allowed to cross the federated wire.
+// The privacytaint analyzer (internal/lint) allowlists exactly this
+// function — everything downstream of a Params call is clean by contract,
+// and every other telemetry flow to the wire is a build-breaking finding.
 func (n *Network) Params() []float64 { return n.params }
 
 // SetParams overwrites the network parameters with p, which must have

@@ -17,6 +17,10 @@ import (
 // vector of length n.
 func WireSize(n int) int { return 4 * n }
 
+// Wire encoding is also the privacy boundary's choke point: EncodeParams
+// inputs are a privacytaint sink (internal/lint), so only clean,
+// Params-derived vectors may ever be serialised for transfer.
+
 // EncodeParams serialises params as little-endian float32 values.
 func EncodeParams(params []float64) []byte {
 	buf := make([]byte, WireSize(len(params)))

@@ -24,7 +24,17 @@ echo "==> go vet ./..."
 go vet ./...
 
 echo "==> fedlint ./..."
-go run ./cmd/fedlint ./...
+# The wall-clock budget (generous: a clean run takes well under a minute,
+# most of it go-build cache warmup) turns an accidentally superlinear
+# analyzer — the interprocedural taint pass walks every function body in
+# the module — into a hard CI failure instead of a slow creep.
+FEDLINT_BUDGET="${FEDLINT_BUDGET:-300}"
+if command -v timeout >/dev/null 2>&1; then
+  time timeout --foreground "$FEDLINT_BUDGET" go run ./cmd/fedlint ./... \
+    || { rc=$?; [ "$rc" -eq 124 ] && echo "fedlint exceeded ${FEDLINT_BUDGET}s wall-clock budget" >&2; exit "$rc"; }
+else
+  time go run ./cmd/fedlint ./...
+fi
 
 echo "==> go test ./..."
 go test ./...
