@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the same gate CI runs.
 
-.PHONY: check build vet lint lint-sarif bench-lint test race determinism fuzz
+.PHONY: check build vet lint lint-sarif bench bench-lint test race determinism fuzz
 
 check:
 	./scripts/check.sh
@@ -25,6 +25,13 @@ lint-sarif:
 bench-lint:
 	go test -bench 'DefaultSuite|PrivacyTaint' -benchmem -run XXX ./internal/lint/
 
+# Hot-path benchmark gate: runs BenchmarkControlStepLatency and
+# BenchmarkPolicyUpdate with -benchmem, records BENCH_<date>.json and
+# fails on a >20 % ns/op regression — or any allocs/op increase — against
+# the committed BENCH_baseline.json (scripts/benchdiff.sh).
+bench:
+	./scripts/benchdiff.sh
+
 test:
 	go test ./...
 
@@ -32,9 +39,10 @@ race:
 	go test -race ./...
 
 # Determinism gate: the resilience tests run twice and must replay
-# bit-identically (fault schedules, zero-fault TCP results).
+# bit-identically (fault schedules, zero-fault TCP results), and the
+# parallel experiment engine must match sequential execution bit-for-bit.
 determinism:
-	go test -run Resilience -count=2 ./internal/fed/... ./internal/experiment/...
+	go test -run 'Resilience|ParallelMatchesSequential' -count=2 ./internal/fed/... ./internal/experiment/...
 
 # Extended fuzzing of the federation wire format (seed corpus always runs
 # as part of `make test`).

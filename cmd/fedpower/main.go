@@ -16,6 +16,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"fedpower"
@@ -62,6 +64,9 @@ func main() {
 	truncRate := flag.Float64("truncate-rate", 0.0, "resilience: per-I/O frame-truncation probability")
 	quorum := flag.Int("quorum", 1, "resilience: minimum surviving updates per round (0 = all devices)")
 	faultSeed := flag.Int64("fault-seed", 1, "resilience: fault-schedule seed")
+	parallel := flag.Int("parallel", 0, "worker-pool width for experiment units and federated clients (0 = all CPUs, 1 = sequential; results are bit-identical at any width)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file after the run")
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's data as CSV into this directory")
 	flag.Usage = usage
 	flag.Parse()
@@ -92,9 +97,15 @@ func main() {
 	if *evalEvery > 0 {
 		o.ExecEvalEvery = *evalEvery
 	}
+	o.Parallelism = *parallel
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedpower:", err)
+		os.Exit(1)
+	}
 
 	start := time.Now()
-	var err error
 	switch cmd := flag.Arg(0); cmd {
 	case "fig2":
 		err = runFig2(o)
@@ -144,11 +155,57 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if perr := stopProfiles(); perr != nil && err == nil {
+		err = perr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedpower:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("\n[%s completed in %v]\n", flag.Arg(0), time.Since(start).Round(time.Millisecond))
+}
+
+// startProfiles enables pprof profiling when requested. The returned stop
+// function finalises both profiles; it must run before the process exits or
+// the CPU profile is truncated and the heap profile never written.
+func startProfiles(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			_ = cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("close %s: %w", cpu, err)
+			}
+			fmt.Printf("(cpu profile written to %s)\n", cpu)
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialise live-heap statistics before the snapshot
+			werr := pprof.WriteHeapProfile(f)
+			cerr := f.Close()
+			if werr != nil {
+				return werr
+			}
+			if cerr != nil {
+				return fmt.Errorf("close %s: %w", mem, cerr)
+			}
+			fmt.Printf("(heap profile written to %s)\n", mem)
+		}
+		return nil
+	}, nil
 }
 
 func usage() {

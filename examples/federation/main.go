@@ -159,8 +159,12 @@ func device(server, name string, id uint32, seed int64, appNames []string, flaky
 		ID:   id,
 		Retry: fedpower.Backoff{
 			Attempts: 5,
-			Base:     50 * time.Millisecond,
-			Jitter:   rand.New(rand.NewSource(seed + 3)),
+			// In-process rounds are sub-millisecond, so the retry pacing
+			// must be fast enough that the rigged device rejoins before
+			// the server finishes the remaining rounds without it; real
+			// deployments (cmd/feddevice) keep human-scale backoff.
+			Base:   2 * time.Millisecond,
+			Jitter: rand.New(rand.NewSource(seed + 3)),
 		},
 	}
 	if flakyWrite > 0 {

@@ -311,15 +311,15 @@ func (c *Controller) Update() {
 	for i := range c.grad {
 		c.grad[i] = 0
 	}
-	gradOut := make([]float64, c.P.Actions)
 	totalLoss := 0.0
 	for _, s := range c.batch {
-		out := c.net.Forward(s.State)
-		loss, g := nn.Huber(out[s.Action], s.Reward, nn.HuberDelta)
+		// The bandit loss touches a single output unit, so the scalar
+		// forward/backward fast paths apply; with the sample buffer and
+		// the network scratch reused, the whole update is allocation-free.
+		out := c.net.ForwardAction(s.State, s.Action)
+		loss, g := nn.Huber(out, s.Reward, nn.HuberDelta)
 		totalLoss += loss
-		gradOut[s.Action] = g / float64(n)
-		c.net.Backward(gradOut, c.grad)
-		gradOut[s.Action] = 0
+		c.net.BackwardScalar(s.Action, g/float64(n), c.grad)
 	}
 	c.loss = totalLoss / float64(n)
 	c.opt.Step(c.net.Params(), c.grad)

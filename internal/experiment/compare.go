@@ -7,6 +7,7 @@ import (
 	"fedpower/internal/baseline"
 	"fedpower/internal/core"
 	"fedpower/internal/fed"
+	"fedpower/internal/par"
 	"fedpower/internal/stats"
 	"fedpower/internal/workload"
 )
@@ -80,65 +81,84 @@ func RunComparison(o Options, scIndex int, sc Scenario) (*ComparisonResult, erro
 		am.Power.Add(res.AvgPowerW)
 	}
 
-	// --- Ours: federated neural controller -----------------------------
-	fedClients := make([]fed.Client, len(sc.Devices))
-	for i, names := range sc.Devices {
-		specs, err := workload.ByNames(names...)
-		if err != nil {
-			return nil, err
+	// Ours and the baseline share no state — each technique records into
+	// its own metrics map from its own seed streams — so the two train as
+	// independent units on the experiment worker pool.
+	runOurs := func() error {
+		// Federated neural controller.
+		fedClients := make([]fed.Client, len(sc.Devices))
+		for i, names := range sc.Devices {
+			specs, err := workload.ByNames(names...)
+			if err != nil {
+				return err
+			}
+			fedClients[i] = newNeuralDevice(o, int64(idFedDevice+i+10*scIndex), specs)
 		}
-		fedClients[i] = newNeuralDevice(o, int64(idFedDevice+i+10*scIndex), specs)
-	}
-	global := core.NewController(o.Core, newRNG(o.Seed, idFedInit, int64(scIndex))).ModelParams()
-	globalCopy := append([]float64(nil), global...)
-	err := fed.Run(globalCopy, fedClients, o.Rounds, func(round int, g []float64) {
-		if round%o.ExecEvalEvery != 0 {
-			return
-		}
-		pol := NewNeuralPolicy(o.Core, g)
-		for appIdx, spec := range evalSet {
-			res := evaluate(o, pol, spec, true, idEval+1, int64(scIndex), int64(round), int64(appIdx))
-			record(result.Ours, spec.Name, res)
-		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiment: comparison federated training scenario %s: %w", sc.Name, err)
-	}
-
-	// --- Baseline: Profit + CollabPolicy --------------------------------
-	devices := make([]*TabularDevice, len(sc.Devices))
-	for i, names := range sc.Devices {
-		specs, err := workload.ByNames(names...)
-		if err != nil {
-			return nil, err
-		}
-		devices[i] = newTabularDevice(o, int64(idFedDevice+i+10*scIndex), specs)
-	}
-	for round := 1; round <= o.Rounds; round++ {
-		// One round of local optimisation on every device, then the
-		// CollabPolicy exchange: summaries up, merged global policy down.
-		summaries := make([]baseline.LocalSummary, len(devices))
-		for i, d := range devices {
-			d.TrainRound()
-			summaries[i] = d.Agent.Summary()
-		}
-		globalPolicy := baseline.Aggregate(summaries)
-		for _, d := range devices {
-			d.Agent.SetGlobal(globalPolicy)
-		}
-
-		if round%o.ExecEvalEvery != 0 {
-			continue
-		}
-		// Evaluate each device's agent (local tables differ across devices
-		// even though the global policy is shared) and average.
-		for devIdx, d := range devices {
-			pol := NewTabularPolicy(d.Agent)
+		global := core.NewController(o.Core, newRNG(o.Seed, idFedInit, int64(scIndex))).ModelParams()
+		globalCopy := append([]float64(nil), global...)
+		err := fed.RunParallel(globalCopy, fedClients, o.Rounds, o.workers(), func(round int, g []float64) {
+			if round%o.ExecEvalEvery != 0 {
+				return
+			}
+			pol := NewNeuralPolicy(o.Core, g)
 			for appIdx, spec := range evalSet {
-				res := evaluate(o, pol, spec, true, idEval+2, int64(scIndex), int64(round), int64(appIdx), int64(devIdx))
-				record(result.Base, spec.Name, res)
+				res := evaluate(o, pol, spec, true, idEval+1, int64(scIndex), int64(round), int64(appIdx))
+				record(result.Ours, spec.Name, res)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("experiment: comparison federated training scenario %s: %w", sc.Name, err)
+		}
+		return nil
+	}
+
+	runBase := func() error {
+		// Baseline: Profit + CollabPolicy.
+		devices := make([]*TabularDevice, len(sc.Devices))
+		for i, names := range sc.Devices {
+			specs, err := workload.ByNames(names...)
+			if err != nil {
+				return err
+			}
+			devices[i] = newTabularDevice(o, int64(idFedDevice+i+10*scIndex), specs)
+		}
+		for round := 1; round <= o.Rounds; round++ {
+			// One round of local optimisation on every device, then the
+			// CollabPolicy exchange: summaries up, merged global policy down.
+			summaries := make([]baseline.LocalSummary, len(devices))
+			for i, d := range devices {
+				d.TrainRound()
+				summaries[i] = d.Agent.Summary()
+			}
+			globalPolicy := baseline.Aggregate(summaries)
+			for _, d := range devices {
+				d.Agent.SetGlobal(globalPolicy)
+			}
+
+			if round%o.ExecEvalEvery != 0 {
+				continue
+			}
+			// Evaluate each device's agent (local tables differ across devices
+			// even though the global policy is shared) and average.
+			for devIdx, d := range devices {
+				pol := NewTabularPolicy(d.Agent)
+				for appIdx, spec := range evalSet {
+					res := evaluate(o, pol, spec, true, idEval+2, int64(scIndex), int64(round), int64(appIdx), int64(devIdx))
+					record(result.Base, spec.Name, res)
+				}
 			}
 		}
+		return nil
+	}
+
+	err := par.ForEach(o.workers(), 2, func(unit int) error {
+		if unit == 0 {
+			return runOurs()
+		}
+		return runBase()
+	})
+	if err != nil {
+		return nil, err
 	}
 	return result, nil
 }
@@ -172,15 +192,26 @@ func (t *Table3Result) PowerDeltaPct() float64 {
 }
 
 // RunTable3 runs the comparison on all three Table II scenarios and
-// averages, reproducing Table III.
+// averages, reproducing Table III. Scenarios fan out on the experiment
+// worker pool; the averages consume the per-scenario results in stable
+// Table II order.
 func RunTable3(o Options) (*Table3Result, error) {
+	scenarios := TableII()
+	slots := make([]*ComparisonResult, len(scenarios))
+	err := par.ForEach(o.workers(), len(scenarios), func(i int) error {
+		res, err := RunComparison(o, i, scenarios[i])
+		if err != nil {
+			return err
+		}
+		slots[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &Table3Result{}
 	var oe, oi, op, be, bi, bp stats.Running
-	for i, sc := range TableII() {
-		res, err := RunComparison(o, i, sc)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range slots {
 		out.PerScenario = append(out.PerScenario, res)
 		e, ips, p := TechAverages(res.Ours)
 		oe.Add(e)

@@ -125,7 +125,7 @@ func trainFederated(o Options, scIndex int, sc Scenario) ([]float64, error) {
 	}
 	global := core.NewController(o.Core, newRNG(o.Seed, idFedInit, int64(scIndex))).ModelParams()
 	globalCopy := append([]float64(nil), global...)
-	if err := fed.Run(globalCopy, clients, o.Rounds, nil); err != nil {
+	if err := fed.RunParallel(globalCopy, clients, o.Rounds, o.workers(), nil); err != nil {
 		return nil, fmt.Errorf("experiment: federated training scenario %s: %w", sc.Name, err)
 	}
 	return globalCopy, nil
@@ -181,7 +181,7 @@ func RunHeterogeneous(o Options, budgets []float64) (*HeteroResult, error) {
 		}
 		global := core.NewController(o.Core, newRNG(o.Seed, idFedInit, baseID)).ModelParams()
 		globalCopy := append([]float64(nil), global...)
-		if err := fed.Run(globalCopy, clients, o.Rounds, nil); err != nil {
+		if err := fed.RunParallel(globalCopy, clients, o.Rounds, o.workers(), nil); err != nil {
 			return nil, err
 		}
 		return globalCopy, nil

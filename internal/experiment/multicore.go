@@ -183,7 +183,7 @@ func RunMultiCore(o Options) (*MultiCoreResult, error) {
 	}
 	global := core.NewController(multiCoreParams(o), newRNG(o.Seed, idFedInit, 5000)).ModelParams()
 	globalCopy := append([]float64(nil), global...)
-	err := fed.Run(globalCopy, clients, o.Rounds, func(round int, g []float64) {
+	err := fed.RunParallel(globalCopy, clients, o.Rounds, o.workers(), func(round int, g []float64) {
 		result.Fed = append(result.Fed, evalCluster(o, g, cores, round, 5100, int64(round)))
 	})
 	if err != nil {

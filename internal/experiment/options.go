@@ -12,6 +12,7 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"fedpower/internal/core"
 	"fedpower/internal/sim"
@@ -49,6 +50,16 @@ type Options struct {
 	// leakage feedback to every simulated device — the second-order effect
 	// the paper neglects (see the thermal ablation benchmark).
 	Thermal bool
+	// Parallelism bounds the experiment engine's worker pools: concurrent
+	// clients inside a federated round, concurrent scenarios in the
+	// Fig. 3/Fig. 5/Table III runners, concurrent sweep points and seed
+	// replicates. 0 (the default) uses GOMAXPROCS; 1 forces fully
+	// sequential execution. Results are bit-identical at every width —
+	// each unit of work owns independent seeded RNG streams and writes
+	// only its own result slot, and all floating-point aggregation
+	// consumes slots in stable index order (TestParallelMatchesSequential
+	// pins this).
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's configuration against the Jetson Nano
@@ -84,12 +95,23 @@ func (o Options) Validate() error {
 		return fmt.Errorf("experiment: exec eval cadence %d must be positive", o.ExecEvalEvery)
 	case o.MaxExecSteps <= 0:
 		return fmt.Errorf("experiment: max exec steps %d must be positive", o.MaxExecSteps)
+	case o.Parallelism < 0:
+		return fmt.Errorf("experiment: parallelism %d must be non-negative", o.Parallelism)
 	case o.Table == nil:
 		return fmt.Errorf("experiment: nil V/f table")
 	case o.Table.Len() != o.Core.Actions:
 		return fmt.Errorf("experiment: V/f table has %d levels but controller expects %d actions", o.Table.Len(), o.Core.Actions)
 	}
 	return o.Core.Validate()
+}
+
+// workers resolves the Parallelism knob into a concrete pool width:
+// GOMAXPROCS when unset, the explicit value otherwise.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // mix64 is the SplitMix64 finaliser: a bijective avalanche mix.

@@ -95,7 +95,7 @@ func RunPrivacy(o Options) (*PrivacyResult, error) {
 	}
 	global := core.NewController(o.Core, newRNG(o.Seed, idFedInit, 1000)).ModelParams()
 	globalCopy := append([]float64(nil), global...)
-	if err := fed.Run(globalCopy, fedClients, o.Rounds, nil); err != nil {
+	if err := fed.RunParallel(globalCopy, fedClients, o.Rounds, o.workers(), nil); err != nil {
 		return nil, fmt.Errorf("experiment: privacy federated training: %w", err)
 	}
 	// Per round and device: one model down, one model up.

@@ -8,6 +8,7 @@ package experiment
 import (
 	"fmt"
 
+	"fedpower/internal/par"
 	"fedpower/internal/stats"
 )
 
@@ -54,13 +55,21 @@ func RunReplication(o Options, seeds []int64) (*Replication, error) {
 		}
 		seen[s] = true
 	}
-	out := &Replication{Seeds: append([]int64(nil), seeds...)}
-	for _, seed := range seeds {
+	// Replicates are independent by construction (distinct root seeds), so
+	// they fan out on the experiment worker pool; each writes only its own
+	// per-seed slot and the slots are reported in seed order.
+	out := &Replication{
+		Seeds:          append([]int64(nil), seeds...),
+		FedReward:      make([]float64, len(seeds)),
+		LocalReward:    make([]float64, len(seeds)),
+		ImprovementPct: make([]float64, len(seeds)),
+	}
+	err := par.ForEach(o.workers(), len(seeds), func(i int) error {
 		so := o
-		so.Seed = seed
+		so.Seed = seeds[i]
 		res, err := RunFig3(so)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: replication seed %d: %w", seed, err)
+			return fmt.Errorf("experiment: replication seed %d: %w", seeds[i], err)
 		}
 		var fedAgg, localAgg stats.Running
 		for _, sc := range res.Scenarios {
@@ -68,9 +77,13 @@ func RunReplication(o Options, seeds []int64) (*Replication, error) {
 			localAgg.Add(sc.AvgLocalReward())
 		}
 		pct, _ := res.ImprovementPct()
-		out.FedReward = append(out.FedReward, fedAgg.Mean())
-		out.LocalReward = append(out.LocalReward, localAgg.Mean())
-		out.ImprovementPct = append(out.ImprovementPct, pct)
+		out.FedReward[i] = fedAgg.Mean()
+		out.LocalReward[i] = localAgg.Mean()
+		out.ImprovementPct[i] = pct
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

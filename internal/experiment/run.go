@@ -5,6 +5,7 @@ import (
 
 	"fedpower/internal/core"
 	"fedpower/internal/fed"
+	"fedpower/internal/par"
 	"fedpower/internal/stats"
 	"fedpower/internal/workload"
 )
@@ -138,6 +139,11 @@ const (
 //
 // After each round, the relevant policy snapshot is evaluated greedily on
 // one of the twelve evaluation applications in rotation, as in §IV-A.
+//
+// The federated run and every local-only run draw from disjoint seed
+// streams and write disjoint result slots, so they execute as independent
+// units on the experiment worker pool (Options.Parallelism); within the
+// federated unit, clients additionally train concurrently.
 func RunScenario(o Options, scIndex int, sc Scenario) (*ScenarioResult, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
@@ -152,43 +158,45 @@ func RunScenario(o Options, scIndex int, sc Scenario) (*ScenarioResult, error) {
 
 	result := &ScenarioResult{Scenario: sc, Local: make([][]RoundEval, len(sc.Devices))}
 
-	// Federated training: one shared model across all devices.
-	fedClients := make([]fed.Client, len(sc.Devices))
-	for i, names := range sc.Devices {
-		specs, err := workload.ByNames(names...)
-		if err != nil {
-			return nil, err
+	runFederated := func() error {
+		// Federated training: one shared model across all devices.
+		fedClients := make([]fed.Client, len(sc.Devices))
+		for i, names := range sc.Devices {
+			specs, err := workload.ByNames(names...)
+			if err != nil {
+				return err
+			}
+			fedClients[i] = newNeuralDevice(o, int64(idFedDevice+i+10*scIndex), specs)
 		}
-		fedClients[i] = newNeuralDevice(o, int64(idFedDevice+i+10*scIndex), specs)
-	}
-	global := core.NewController(o.Core, newRNG(o.Seed, idFedInit, int64(scIndex))).ModelParams()
-	globalCopy := append([]float64(nil), global...)
-	err := fed.Run(globalCopy, fedClients, o.Rounds, func(round int, g []float64) {
-		spec := evalSpec(round)
-		pol := NewNeuralPolicy(o.Core, g)
-		res := evaluate(o, pol, spec, false, idEval, int64(scIndex), 0, int64(round))
-		result.Fed = append(result.Fed, RoundEval{
-			Round:        round,
-			App:          spec.Name,
-			Reward:       res.AvgReward,
-			MeanNormFreq: res.MeanNormFreq,
-			StdNormFreq:  res.StdNormFreq,
+		global := core.NewController(o.Core, newRNG(o.Seed, idFedInit, int64(scIndex))).ModelParams()
+		globalCopy := append([]float64(nil), global...)
+		err := fed.RunParallel(globalCopy, fedClients, o.Rounds, o.workers(), func(round int, g []float64) {
+			spec := evalSpec(round)
+			pol := NewNeuralPolicy(o.Core, g)
+			res := evaluate(o, pol, spec, false, idEval, int64(scIndex), 0, int64(round))
+			result.Fed = append(result.Fed, RoundEval{
+				Round:        round,
+				App:          spec.Name,
+				Reward:       res.AvgReward,
+				MeanNormFreq: res.MeanNormFreq,
+				StdNormFreq:  res.StdNormFreq,
+			})
 		})
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiment: federated training scenario %s: %w", sc.Name, err)
+		if err != nil {
+			return fmt.Errorf("experiment: federated training scenario %s: %w", sc.Name, err)
+		}
+		return nil
 	}
 
-	// Local-only training: each device is its own federation of one.
-	for i, names := range sc.Devices {
-		specs, err := workload.ByNames(names...)
+	runLocal := func(devIdx int) error {
+		// Local-only training: the device is its own federation of one.
+		specs, err := workload.ByNames(sc.Devices[devIdx]...)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		dev := newNeuralDevice(o, int64(idLocalDevice+i+10*scIndex), specs)
-		local := core.NewController(o.Core, newRNG(o.Seed, idLocalInit, int64(scIndex), int64(i))).ModelParams()
+		dev := newNeuralDevice(o, int64(idLocalDevice+devIdx+10*scIndex), specs)
+		local := core.NewController(o.Core, newRNG(o.Seed, idLocalInit, int64(scIndex), int64(devIdx))).ModelParams()
 		localCopy := append([]float64(nil), local...)
-		devIdx := i
 		err = fed.Run(localCopy, []fed.Client{dev}, o.Rounds, func(round int, g []float64) {
 			spec := evalSpec(round)
 			pol := NewNeuralPolicy(o.Core, g)
@@ -202,8 +210,20 @@ func RunScenario(o Options, scIndex int, sc Scenario) (*ScenarioResult, error) {
 			})
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiment: local training scenario %s device %d: %w", sc.Name, i, err)
+			return fmt.Errorf("experiment: local training scenario %s device %d: %w", sc.Name, devIdx, err)
 		}
+		return nil
+	}
+
+	// Unit 0 is the federated run, unit i+1 device i's local-only run.
+	err := par.ForEach(o.workers(), 1+len(sc.Devices), func(unit int) error {
+		if unit == 0 {
+			return runFederated()
+		}
+		return runLocal(unit - 1)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return result, nil
 }
@@ -215,17 +235,24 @@ type Fig3Result struct {
 	Scenarios []*ScenarioResult
 }
 
-// RunFig3 runs all Table II scenarios.
+// RunFig3 runs all Table II scenarios, fanning them out on the experiment
+// worker pool; the result order is the stable Table II order regardless of
+// which scenario finishes first.
 func RunFig3(o Options) (*Fig3Result, error) {
-	out := &Fig3Result{}
-	for i, sc := range TableII() {
-		res, err := RunScenario(o, i, sc)
+	scenarios := TableII()
+	slots := make([]*ScenarioResult, len(scenarios))
+	err := par.ForEach(o.workers(), len(scenarios), func(i int) error {
+		res, err := RunScenario(o, i, scenarios[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Scenarios = append(out.Scenarios, res)
+		slots[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig3Result{Scenarios: slots}, nil
 }
 
 // ImprovementPct returns the mean federated evaluation reward improvement

@@ -11,6 +11,7 @@ import (
 
 	"fedpower/internal/core"
 	"fedpower/internal/fed"
+	"fedpower/internal/par"
 	"fedpower/internal/stats"
 	"fedpower/internal/workload"
 )
@@ -44,7 +45,10 @@ func (r *SweepResult) Best() string {
 }
 
 // RunSweep trains scenario 2 federated under each point and evaluates the
-// final model on all twelve applications.
+// final model on all twelve applications. Sweep points are mutually
+// independent — each derives its own seed streams from its index — so they
+// fan out on the experiment worker pool, with results reported in point
+// order.
 func RunSweep(o Options, dimension string, points []SweepPoint) (*SweepResult, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
@@ -53,26 +57,31 @@ func RunSweep(o Options, dimension string, points []SweepPoint) (*SweepResult, e
 		return nil, fmt.Errorf("experiment: sweep %q has no points", dimension)
 	}
 	sc := TableII()[1]
-	out := &SweepResult{Dimension: dimension}
-	for pi, pt := range points {
+	out := &SweepResult{
+		Dimension: dimension,
+		Labels:    make([]string, len(points)),
+		Reward:    make([]float64, len(points)),
+	}
+	err := par.ForEach(o.workers(), len(points), func(pi int) error {
+		pt := points[pi]
 		po := o
 		pt.Mutate(&po)
 		if err := po.Validate(); err != nil {
-			return nil, fmt.Errorf("experiment: sweep point %s: %w", pt.Label, err)
+			return fmt.Errorf("experiment: sweep point %s: %w", pt.Label, err)
 		}
 
 		clients := make([]fed.Client, len(sc.Devices))
 		for i, names := range sc.Devices {
 			specs, err := workload.ByNames(names...)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			clients[i] = newNeuralDevice(po, int64(8000+100*pi+i), specs)
 		}
 		global := core.NewController(po.Core, newRNG(po.Seed, idFedInit, int64(8000+pi))).ModelParams()
 		globalCopy := append([]float64(nil), global...)
-		if err := fed.Run(globalCopy, clients, po.Rounds, nil); err != nil {
-			return nil, fmt.Errorf("experiment: sweep point %s: %w", pt.Label, err)
+		if err := fed.RunParallel(globalCopy, clients, po.Rounds, po.workers(), nil); err != nil {
+			return fmt.Errorf("experiment: sweep point %s: %w", pt.Label, err)
 		}
 
 		var agg stats.Running
@@ -80,8 +89,12 @@ func RunSweep(o Options, dimension string, points []SweepPoint) (*SweepResult, e
 			res := evaluate(po, NewNeuralPolicy(po.Core, globalCopy), spec, false, 8500, int64(pi), int64(appIdx))
 			agg.Add(res.AvgReward)
 		}
-		out.Labels = append(out.Labels, pt.Label)
-		out.Reward = append(out.Reward, agg.Mean())
+		out.Labels[pi] = pt.Label
+		out.Reward[pi] = agg.Mean()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -72,6 +72,7 @@ import (
 	"math/rand"
 
 	"fedpower/internal/nn"
+	"fedpower/internal/par"
 )
 
 // Client is one federated participant: a device hosting a local power
@@ -110,13 +111,26 @@ type RoundHook func(round int, global []float64)
 // parallel execution because FedAvg only consumes the end-of-round
 // parameters. hook may be nil.
 func Run(global []float64, clients []Client, rounds int, hook RoundHook) error {
+	return RunParallel(global, clients, rounds, 1, hook)
+}
+
+// RunParallel is Run with up to width clients training concurrently within
+// each round. Every client owns its slot in the round's results, the
+// aggregation consumes the slots in stable client order, and the round
+// barrier (all clients finish before averaging) is unchanged — so the
+// averaged parameters, and therefore the entire run, are bit-identical to
+// the sequential Run whatever the scheduling. Clients must not share
+// mutable state with each other for this to hold (the experiment harness's
+// devices derive independent RNG streams per client). width <= 1 runs
+// sequentially; hook always runs on the calling goroutine.
+func RunParallel(global []float64, clients []Client, rounds, width int, hook RoundHook) error {
 	if len(clients) == 0 {
 		return fmt.Errorf("fed: no clients")
 	}
 	if rounds <= 0 {
 		return fmt.Errorf("fed: round count %d must be positive", rounds)
 	}
-	return run(global, clients, nil, rounds, hook)
+	return run(global, clients, nil, rounds, width, hook)
 }
 
 // RunWeighted is Run with per-client aggregation weights — the original
@@ -144,7 +158,7 @@ func RunWeighted(global []float64, clients []Client, weights []float64, rounds i
 	if total <= 0 {
 		return fmt.Errorf("fed: aggregation weights sum to zero")
 	}
-	return run(global, clients, weights, rounds, hook)
+	return run(global, clients, weights, rounds, 1, hook)
 }
 
 // RunSampled executes federated averaging with partial participation: each
@@ -229,6 +243,11 @@ type RunConfig struct {
 	OnClientError ClientErrorPolicy
 	// Hook, if non-nil, runs after every aggregation.
 	Hook RoundHook
+	// Parallelism bounds how many clients train concurrently within a
+	// round; <= 1 (the zero value) runs them sequentially. Results are
+	// bit-identical at any width: survivors are averaged in stable client
+	// order and the quorum decision reads the joined round's outcome.
+	Parallelism int
 }
 
 // RunWithConfig executes federated averaging with the TCP transport's
@@ -254,12 +273,16 @@ func RunWithConfig(global []float64, clients []Client, cfg RunConfig) error {
 
 	broadcast := make([]float64, len(global))
 	locals := make([][]float64, 0, len(clients))
+	slots := make([][]float64, len(clients))
+	for i := range slots {
+		slots[i] = make([]float64, len(global))
+	}
+	clientErrs := make([]error, len(clients))
 	for r := 1; r <= cfg.Rounds; r++ {
 		copy(broadcast, global)
-		locals = locals[:0]
-		var firstErr error
-		for i, c := range clients {
-			updated, err := c.TrainRound(r, broadcast)
+		err := par.ForEach(cfg.Parallelism, len(clients), func(i int) error {
+			clientErrs[i] = nil
+			updated, err := clients[i].TrainRound(r, broadcast)
 			if err == nil && len(updated) != len(global) {
 				err = fmt.Errorf("returned %d params, want %d", len(updated), len(global))
 			}
@@ -268,12 +291,30 @@ func RunWithConfig(global []float64, clients []Client, cfg RunConfig) error {
 				if cfg.OnClientError == FailFast {
 					return wrapped
 				}
+				// DropRound absorbs the failure: record it in the
+				// client's slot and let the quorum decision below judge
+				// the joined round.
+				clientErrs[i] = wrapped
+				return nil
+			}
+			copy(slots[i], updated)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// Collect survivors in stable client order — the order, not the
+		// completion sequence, determines the average.
+		locals = locals[:0]
+		var firstErr error
+		for i := range clients {
+			if clientErrs[i] != nil {
 				if firstErr == nil {
-					firstErr = wrapped
+					firstErr = clientErrs[i]
 				}
 				continue
 			}
-			locals = append(locals, append([]float64(nil), updated...))
+			locals = append(locals, slots[i])
 		}
 		if len(locals) < quorum {
 			return &RoundError{Round: r, Phase: PhaseCollect, Client: -1,
@@ -289,8 +330,11 @@ func RunWithConfig(global []float64, clients []Client, cfg RunConfig) error {
 }
 
 // run drives the round loop; a nil weights slice selects the unweighted
-// average.
-func run(global []float64, clients []Client, weights []float64, rounds int, hook RoundHook) error {
+// average. Within a round, up to width clients train concurrently; each
+// writes only its own locals slot and reads only the shared broadcast
+// snapshot, and the aggregation averages the slots in client order after
+// the pool has joined.
+func run(global []float64, clients []Client, weights []float64, rounds, width int, hook RoundHook) error {
 	locals := make([][]float64, len(clients))
 	for i := range locals {
 		locals[i] = make([]float64, len(global))
@@ -298,8 +342,8 @@ func run(global []float64, clients []Client, weights []float64, rounds int, hook
 	broadcast := make([]float64, len(global))
 	for r := 1; r <= rounds; r++ {
 		copy(broadcast, global)
-		for i, c := range clients {
-			updated, err := c.TrainRound(r, broadcast)
+		err := par.ForEach(width, len(clients), func(i int) error {
+			updated, err := clients[i].TrainRound(r, broadcast)
 			if err != nil {
 				return fmt.Errorf("fed: round %d client %d: %w", r, i, err)
 			}
@@ -307,6 +351,10 @@ func run(global []float64, clients []Client, weights []float64, rounds int, hook
 				return fmt.Errorf("fed: round %d client %d returned %d params, want %d", r, i, len(updated), len(global))
 			}
 			copy(locals[i], updated)
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		if weights == nil {
 			nn.AverageParams(global, locals...)

@@ -291,6 +291,45 @@ func main() {
 	}
 }
 
+func TestGoLaunchRecognizesPoolWorkers(t *testing.T) {
+	// The worker-pool launch shape of internal/par: a fixed number of
+	// workers pull indices from a shared atomic counter and signal
+	// completion through the WaitGroup referenced in the body. The loop
+	// variable is the worker slot, which the body never touches, so the
+	// pattern passes both golaunch checks without any ignore directive.
+	src := `package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func pool(width, n int, task func(i int) error) []error {
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+`
+	if diags := runOn(t, GoLaunch{}, "fedpower/internal/par", src); len(diags) != 0 {
+		t.Fatalf("golaunch must recognise supervised pool workers:\n%s", renderDiags(diags))
+	}
+}
+
 func TestGoLaunchHonorsIgnore(t *testing.T) {
 	src := `package fed
 

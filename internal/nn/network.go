@@ -37,6 +37,12 @@ type Network struct {
 	// Caches for backpropagation, filled by Forward.
 	acts []([]float64) // acts[0] = input copy, acts[i] = output of layer i-1
 	pre  []([]float64) // pre-activation values per layer
+
+	// delta[k] is the backward pass's scratch for dL/d(pre-activation) of
+	// layer k's input width (delta[k] has sizes[k] elements, k >= 1). The
+	// buffers are owned by the network so Backward/BackwardScalar allocate
+	// nothing in the training hot loop.
+	delta []([]float64)
 }
 
 // New constructs a network with the given layer sizes (at least input and
@@ -62,16 +68,24 @@ func New(rng *rand.Rand, sizes ...int) *Network {
 		total += sizes[l+1]
 	}
 	n.params = make([]float64, total)
-	n.acts = make([][]float64, len(sizes))
-	n.pre = make([][]float64, len(sizes)-1)
-	for i, s := range sizes {
+	n.initScratch()
+	n.heInit(rng)
+	return n
+}
+
+// initScratch sizes the activation, pre-activation and backward-delta
+// caches for the configured layer widths.
+func (n *Network) initScratch() {
+	n.acts = make([][]float64, len(n.sizes))
+	n.pre = make([][]float64, len(n.sizes)-1)
+	n.delta = make([][]float64, len(n.sizes))
+	for i, s := range n.sizes {
 		n.acts[i] = make([]float64, s)
 		if i > 0 {
 			n.pre[i-1] = make([]float64, s)
+			n.delta[i] = make([]float64, s)
 		}
 	}
-	n.heInit(rng)
-	return n
 }
 
 // heInit draws weights from N(0, sqrt(2/fanIn)), the standard initialisation
@@ -137,14 +151,7 @@ func (n *Network) Clone() *Network {
 		wOff:   append([]int(nil), n.wOff...),
 		bOff:   append([]int(nil), n.bOff...),
 	}
-	c.acts = make([][]float64, len(c.sizes))
-	c.pre = make([][]float64, len(c.sizes)-1)
-	for i, s := range c.sizes {
-		c.acts[i] = make([]float64, s)
-		if i > 0 {
-			c.pre[i-1] = make([]float64, s)
-		}
-	}
+	c.initScratch()
 	return c
 }
 
@@ -188,11 +195,60 @@ func (n *Network) Forward(x []float64) []float64 {
 	return n.acts[len(n.acts)-1]
 }
 
+// ForwardAction is the bandit fast path of Forward: it runs the hidden
+// layers exactly as Forward does (caching activations for a subsequent
+// Backward/BackwardScalar call) but evaluates only the given output unit,
+// dropping the output layer from O(out·hidden) to O(hidden). The returned
+// value is bit-identical to Forward(x)[action] — the same multiply-adds in
+// the same order — and the backward pass never reads the output-layer
+// activations, so the pairing ForwardAction/BackwardScalar is exact.
+func (n *Network) ForwardAction(x []float64, action int) float64 {
+	if len(x) != n.sizes[0] {
+		panic(fmt.Sprintf("nn: ForwardAction input length %d, want %d", len(x), n.sizes[0]))
+	}
+	last := len(n.sizes) - 2
+	if action < 0 || action >= n.sizes[last+1] {
+		panic(fmt.Sprintf("nn: ForwardAction action %d out of range [0,%d)", action, n.sizes[last+1]))
+	}
+	copy(n.acts[0], x)
+	for l := 0; l < last; l++ {
+		in := n.acts[l]
+		out := n.pre[l]
+		w := n.weights(l)
+		b := n.biases(l)
+		nin, nout := n.sizes[l], n.sizes[l+1]
+		act := n.acts[l+1]
+		for j := 0; j < nout; j++ {
+			sum := b[j]
+			row := w[j*nin : (j+1)*nin]
+			for i, v := range in {
+				sum += row[i] * v
+			}
+			out[j] = sum
+			if sum > 0 {
+				act[j] = sum
+			} else {
+				act[j] = 0
+			}
+		}
+	}
+	in := n.acts[last]
+	nin := n.sizes[last]
+	sum := n.biases(last)[action]
+	row := n.weights(last)[action*nin : (action+1)*nin]
+	for i, v := range in {
+		sum += row[i] * v
+	}
+	return sum
+}
+
 // Backward backpropagates gradOut — the gradient of the loss with respect to
 // the network output of the most recent Forward call — and accumulates the
 // parameter gradient into grad, which must have NumParams elements. Backward
 // must be preceded by a Forward call on the corresponding input; it does not
-// modify the network parameters.
+// modify the network parameters. Backward reuses network-owned scratch, so
+// it performs no allocations; like Forward, it is not safe for concurrent
+// use.
 func (n *Network) Backward(gradOut []float64, grad []float64) {
 	nl := len(n.sizes) - 1
 	if len(gradOut) != n.sizes[nl] {
@@ -201,9 +257,61 @@ func (n *Network) Backward(gradOut []float64, grad []float64) {
 	if len(grad) != len(n.params) {
 		panic(fmt.Sprintf("nn: Backward grad buffer length %d, want %d", len(grad), len(n.params)))
 	}
-	// delta holds dL/d(pre-activation) of the current layer.
-	delta := append([]float64(nil), gradOut...)
-	for l := nl - 1; l >= 0; l-- {
+	delta := n.delta[nl]
+	copy(delta, gradOut)
+	n.backprop(nl-1, delta, grad)
+}
+
+// BackwardScalar is the bandit fast path of Backward: the loss touches a
+// single output unit (the taken action), so instead of backpropagating a
+// one-hot gradOut vector — O(out·hidden) with a zero-skip — the output
+// layer's contribution is applied directly from the scalar g = dL/d(out
+// [action]), dropping the output-layer pass to O(hidden). The result is
+// bit-identical to Backward with gradOut[action]=g and zeros elsewhere,
+// because the surviving multiply-adds are the same operations in the same
+// order. Allocation-free, like Backward.
+func (n *Network) BackwardScalar(action int, g float64, grad []float64) {
+	nl := len(n.sizes) - 1
+	if action < 0 || action >= n.sizes[nl] {
+		panic(fmt.Sprintf("nn: BackwardScalar action %d out of range [0,%d)", action, n.sizes[nl]))
+	}
+	if len(grad) != len(n.params) {
+		panic(fmt.Sprintf("nn: BackwardScalar grad buffer length %d, want %d", len(grad), len(n.params)))
+	}
+	l := nl - 1
+	in := n.acts[l]
+	nin := n.sizes[l]
+	if g != 0 { //fedlint:ignore floateq exact zero skip (dead loss gradient) is a pure optimisation; any nonzero g must contribute
+		grad[n.bOff[l]+action] += g
+		row := grad[n.wOff[l]+action*nin : n.wOff[l]+(action+1)*nin]
+		for i, v := range in {
+			row[i] += g * v
+		}
+	}
+	if l == 0 {
+		return
+	}
+	// Propagate the single nonzero delta to the previous layer and apply
+	// the ReLU derivative.
+	prev := n.delta[l]
+	wrow := n.weights(l)[action*nin : (action+1)*nin]
+	for i := range prev {
+		prev[i] = g * wrow[i]
+	}
+	pre := n.pre[l-1]
+	for i := range prev {
+		if pre[i] <= 0 {
+			prev[i] = 0
+		}
+	}
+	n.backprop(l-1, prev, grad)
+}
+
+// backprop runs the shared backward loop from layer top down to layer 0.
+// delta holds dL/d(pre-activation) of layer top's output and is consumed;
+// lower layers' deltas use the network-owned scratch.
+func (n *Network) backprop(top int, delta []float64, grad []float64) {
+	for l := top; l >= 0; l-- {
 		in := n.acts[l]
 		nin, nout := n.sizes[l], n.sizes[l+1]
 		gw := grad[n.wOff[l] : n.wOff[l]+nin*nout]
@@ -224,7 +332,10 @@ func (n *Network) Backward(gradOut []float64, grad []float64) {
 		}
 		// Propagate to the previous layer and apply the ReLU derivative.
 		w := n.weights(l)
-		prev := make([]float64, nin)
+		prev := n.delta[l]
+		for i := range prev {
+			prev[i] = 0
+		}
 		for j := 0; j < nout; j++ {
 			d := delta[j]
 			if d == 0 { //fedlint:ignore floateq exact zero skip (ReLU-dead units) is a pure optimisation; any nonzero d must contribute

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randNet builds a network with 0-2 hidden layers of varying width so the
+// scalar fast paths are exercised on degenerate (no hidden layer) and deep
+// shapes, not only the paper's 5-32-15 configuration.
+func randNet(rng *rand.Rand) *Network {
+	sizes := []int{rng.Intn(6) + 1}
+	for h := rng.Intn(3); h > 0; h-- {
+		sizes = append(sizes, rng.Intn(16)+1)
+	}
+	sizes = append(sizes, rng.Intn(8)+2)
+	return New(rng, sizes...)
+}
+
+// TestForwardActionMatchesForward: the scalar forward path must be
+// bit-identical to the full forward pass at the selected output — exact
+// equality, not tolerance, because the training loop's determinism gates
+// depend on it.
+func TestForwardActionMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := randNet(rng)
+		x := make([]float64, n.sizes[0])
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		action := rng.Intn(n.sizes[len(n.sizes)-1])
+		want := append([]float64(nil), n.Forward(x)...)
+		got := n.ForwardAction(x, action)
+		if got != want[action] {
+			t.Fatalf("trial %d: ForwardAction(%d) = %v, Forward gave %v", trial, action, got, want[action])
+		}
+	}
+}
+
+// TestBackwardScalarMatchesBackward: BackwardScalar(action, g) must produce
+// exactly the gradient of Backward with a one-hot gradOut — same
+// multiply-adds in the same order.
+func TestBackwardScalarMatchesBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := randNet(rng)
+		x := make([]float64, n.sizes[0])
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		out := n.sizes[len(n.sizes)-1]
+		action := rng.Intn(out)
+		g := rng.NormFloat64()
+
+		n.Forward(x)
+		gradOut := make([]float64, out)
+		gradOut[action] = g
+		want := make([]float64, n.NumParams())
+		n.Backward(gradOut, want)
+
+		got := make([]float64, n.NumParams())
+		n.ForwardAction(x, action)
+		n.BackwardScalar(action, g, got)
+
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: grad[%d] = %v via scalar path, %v via Backward", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBackwardScratchReuse: repeated Backward calls on fresh forwards must
+// not be polluted by the network-owned delta scratch of earlier calls.
+func TestBackwardScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := New(rng, 4, 8, 8, 3)
+	x1 := []float64{0.3, -0.2, 0.9, 0.1}
+	x2 := []float64{-1.2, 0.5, 0.0, 0.7}
+	gradOut := []float64{0.5, -0.25, 1.5}
+
+	// Reference gradient for x2 on a pristine clone.
+	ref := make([]float64, n.NumParams())
+	c := n.Clone()
+	c.Forward(x2)
+	c.Backward(gradOut, ref)
+
+	// Same input after the scratch has been dirtied by an unrelated pass.
+	n.Forward(x1)
+	tmp := make([]float64, n.NumParams())
+	n.Backward([]float64{9, 9, 9}, tmp)
+	got := make([]float64, n.NumParams())
+	n.Forward(x2)
+	n.Backward(gradOut, got)
+
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("grad[%d] = %v after scratch reuse, want %v", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestBackwardAllocationFree pins the hot-loop guarantee: neither backward
+// variant (nor the scalar forward) allocates once the network exists.
+func TestBackwardAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := New(rng, 5, 32, 15)
+	x := make([]float64, 5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	grad := make([]float64, n.NumParams())
+	gradOut := make([]float64, 15)
+	gradOut[3] = 0.7
+
+	if avg := testing.AllocsPerRun(100, func() {
+		n.Forward(x)
+		n.Backward(gradOut, grad)
+	}); avg != 0 {
+		t.Errorf("Forward+Backward allocates %.1f times per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		n.ForwardAction(x, 3)
+		n.BackwardScalar(3, 0.7, grad)
+	}); avg != 0 {
+		t.Errorf("ForwardAction+BackwardScalar allocates %.1f times per call, want 0", avg)
+	}
+}

@@ -1,0 +1,72 @@
+// Package par provides the deterministic worker pool behind the repo's
+// parallel experiment engine. Every fan-out site in the codebase — the
+// per-client training step of the in-process federation, the scenario,
+// sweep-point and seed-replicate loops of the experiment harness — funnels
+// through ForEach, so the concurrency discipline lives in one place:
+//
+//   - Tasks are index-addressed. A task may only write to state owned by
+//     its index (its slot in a pre-sized results slice); consumers read the
+//     slots in index order after the pool has joined. Stable consumption
+//     order is what keeps floating-point aggregation bit-identical to a
+//     sequential run regardless of scheduling.
+//   - Workers are supervised: every goroutine signals completion through
+//     one sync.WaitGroup joined before ForEach returns, so no task can
+//     outlive the call that launched it (the golaunch analyzer checks
+//     this).
+//   - Errors are deterministic: the lowest-index task error is returned,
+//     which is the same error a sequential run would have surfaced first.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs task(i) for every i in [0, n) using up to width concurrent
+// workers and returns the lowest-index error, or nil.
+//
+// With width <= 1 (or n <= 1) the tasks run inline on the calling
+// goroutine, stopping at the first error — the fully sequential mode the
+// determinism tests compare against. With width > 1, all n tasks run even
+// when one fails (tasks must therefore be side-effect-free on failure
+// paths), and the error returned is the one the sequential mode would have
+// returned: the first in index order.
+func ForEach(width, n int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if width > n {
+		width = n
+	}
+	if width <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, width := range []int{0, 1, 2, 4, 16, 100} {
+		n := 37
+		counts := make([]atomic.Int64, n)
+		err := ForEach(width, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("width %d: unexpected error %v", width, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("width %d: task %d ran %d times", width, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestForEachReturnsLowestIndexError pins the deterministic error contract:
+// whatever the scheduling, the reported error is the one a sequential run
+// would surface first.
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, width := range []int{1, 2, 8} {
+		err := ForEach(width, 20, func(i int) error {
+			if i == 7 || i == 13 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 7 failed" {
+			t.Fatalf("width %d: got %v, want lowest-index error from task 7", width, err)
+		}
+	}
+}
+
+// TestForEachSequentialStopsEarly: width 1 must not run tasks past the
+// first failure, matching a plain loop.
+func TestForEachSequentialStopsEarly(t *testing.T) {
+	ran := 0
+	err := ForEach(1, 10, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || ran != 4 {
+		t.Fatalf("ran %d tasks (err %v), want 4 with error", ran, err)
+	}
+}
+
+// TestForEachSlotWritesPublished: writes into index-owned slots must be
+// visible after ForEach returns (the WaitGroup join is the happens-before
+// edge).
+func TestForEachSlotWritesPublished(t *testing.T) {
+	n := 200
+	out := make([]int, n)
+	if err := ForEach(8, n, func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# benchdiff.sh — hot-path benchmark regression gate (`make bench`).
+#
+# Runs the two guarded hot-path benchmarks with -benchmem:
+#
+#   BenchmarkControlStepLatency — one control decision (the per-interval
+#                                 cost on the device, §IV-C)
+#   BenchmarkPolicyUpdate       — one mini-batch policy update (the
+#                                 training hot path)
+#
+# writes the measurements to BENCH_<date>.json, then compares them against
+# the committed BENCH_baseline.json and fails when
+#
+#   * ns/op regresses by more than BENCH_BUDGET_PCT percent (default 20), or
+#   * allocs/op increases at all (the training core is allocation-free;
+#     any new allocation in the hot loop is a regression by definition).
+#
+# Refresh the baseline intentionally by copying a fresh BENCH_<date>.json
+# over BENCH_baseline.json in a reviewed commit. On a machine without a
+# baseline the script bootstraps one from the current run and succeeds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN='BenchmarkControlStepLatency$|BenchmarkPolicyUpdate$'
+BUDGET_PCT="${BENCH_BUDGET_PCT:-20}"
+BASELINE="BENCH_baseline.json"
+TODAY="$(date +%Y-%m-%d)"
+OUT="BENCH_${TODAY}.json"
+
+echo "==> go test -bench '$PATTERN' -benchmem ."
+RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "${BENCH_TIME:-1s}" .)"
+echo "$RAW"
+
+# Render the `go test -bench` table as a small JSON document. Bench lines
+# look like:
+#   BenchmarkPolicyUpdate-8   13940   87642 ns/op   1 B/op   0 allocs/op
+{
+  echo '{'
+  echo "  \"date\": \"${TODAY}\","
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo '  "benchmarks": ['
+  echo "$RAW" | awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      printf "%s    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+             sep, name, $3, $5, $7
+      sep = ",\n"
+    }
+    END { print "" }'
+  echo '  ]'
+  echo '}'
+} > "$OUT"
+echo "==> wrote $OUT"
+
+# json_field FILE NAME KEY — extract one numeric field of one benchmark
+# entry from the flat JSON written above (no jq dependency).
+json_field() {
+  awk -v n="$2" -v k="$3" '
+    index($0, "\"name\": \"" n "\"") {
+      if (match($0, "\"" k "\": [0-9.e+-]+")) {
+        s = substr($0, RSTART, RLENGTH)
+        sub(/.*: /, "", s)
+        print s
+      }
+    }' "$1"
+}
+
+if [ ! -f "$BASELINE" ]; then
+  echo "==> no $BASELINE found — bootstrapping baseline from this run"
+  cp "$OUT" "$BASELINE"
+  exit 0
+fi
+
+fail=0
+for name in BenchmarkControlStepLatency BenchmarkPolicyUpdate; do
+  cur_ns="$(json_field "$OUT" "$name" ns_per_op)"
+  cur_allocs="$(json_field "$OUT" "$name" allocs_per_op)"
+  base_ns="$(json_field "$BASELINE" "$name" ns_per_op)"
+  base_allocs="$(json_field "$BASELINE" "$name" allocs_per_op)"
+  if [ -z "$cur_ns" ] || [ -z "$base_ns" ]; then
+    echo "FAIL  $name: missing from current run or baseline"
+    fail=1
+    continue
+  fi
+  delta="$(awk -v c="$cur_ns" -v b="$base_ns" 'BEGIN { printf "%+.1f", (c-b)/b*100 }')"
+  if awk -v c="$cur_ns" -v b="$base_ns" -v lim="$BUDGET_PCT" \
+       'BEGIN { exit !(c > b*(1+lim/100)) }'; then
+    echo "FAIL  $name: ${cur_ns} ns/op vs baseline ${base_ns} ns/op (${delta}% > +${BUDGET_PCT}% budget)"
+    fail=1
+  elif [ "${cur_allocs%.*}" -gt "${base_allocs%.*}" ]; then
+    echo "FAIL  $name: ${cur_allocs} allocs/op vs baseline ${base_allocs} allocs/op"
+    fail=1
+  else
+    echo "ok    $name: ${cur_ns} ns/op (${delta}% vs baseline), ${cur_allocs} allocs/op"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "==> hot-path benchmark regression (budget +${BUDGET_PCT}% ns/op, no new allocs)"
+  exit 1
+fi
+echo "==> benchmarks within budget"

@@ -11,9 +11,11 @@
 #   5. go test -race   — race detector over every package (the federation,
 #                        faultnet and experiment tests exercise real
 #                        concurrency: quorum rounds with slow/dead clients)
-#   6. determinism     — the resilience tests twice over: fault-injection
+#   6. determinism     — the resilience tests twice over (fault-injection
 #                        schedules and zero-fault TCP runs must replay
-#                        bit-identically
+#                        bit-identically) and the parallel experiment
+#                        engine against sequential execution (bit-identical
+#                        at every pool width)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,7 +44,7 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go test -run Resilience -count=2 (determinism replay)"
-go test -run Resilience -count=2 ./internal/fed/... ./internal/experiment/...
+echo "==> go test -run 'Resilience|ParallelMatchesSequential' -count=2 (determinism replay)"
+go test -run 'Resilience|ParallelMatchesSequential' -count=2 ./internal/fed/... ./internal/experiment/...
 
 echo "==> all checks passed"
