@@ -25,8 +25,9 @@ lint-sarif:
 bench-lint:
 	go test -bench 'DefaultSuite|PrivacyTaint' -benchmem -run XXX ./internal/lint/
 
-# Hot-path benchmark gate: runs BenchmarkControlStepLatency and
-# BenchmarkPolicyUpdate with -benchmem, records BENCH_<date>.json and
+# Hot-path benchmark gate: runs BenchmarkControlStepLatency,
+# BenchmarkPolicyUpdate and the BenchmarkWire{Encode,Decode,RoundTrip}
+# wire-path benchmarks with -benchmem, records BENCH_<date>.json and
 # fails on a >20 % ns/op regression — or any allocs/op increase — against
 # the committed BENCH_baseline.json (scripts/benchdiff.sh).
 bench:
@@ -39,10 +40,12 @@ race:
 	go test -race ./...
 
 # Determinism gate: the resilience tests run twice and must replay
-# bit-identically (fault schedules, zero-fault TCP results), and the
-# parallel experiment engine must match sequential execution bit-for-bit.
+# bit-identically (fault schedules, zero-fault TCP results), the parallel
+# experiment engine must match sequential execution bit-for-bit, and the
+# codec bit-identity tests must reproduce the dense result through the
+# delta codec — in-process and over TCP — twice over.
 determinism:
-	go test -run 'Resilience|ParallelMatchesSequential' -count=2 ./internal/fed/... ./internal/experiment/...
+	go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/...
 
 # Extended fuzzing of the federation wire format (seed corpus always runs
 # as part of `make test`).
@@ -50,3 +53,5 @@ fuzz:
 	go test -fuzz=FuzzWireRoundTrip -fuzztime=30s ./internal/fed/
 	go test -fuzz=FuzzReadMessage -fuzztime=30s ./internal/fed/
 	go test -fuzz=FuzzFaultyReadMessage -fuzztime=30s ./internal/fed/
+	go test -fuzz=FuzzDeltaRoundTrip -fuzztime=30s ./internal/fed/
+	go test -fuzz=FuzzQuantRoundTrip -fuzztime=30s ./internal/fed/

@@ -29,7 +29,14 @@ func main() {
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "initial reconnect backoff (doubles per consecutive failure)")
 	retryMax := flag.Duration("retry-max", 5*time.Second, "reconnect backoff cap")
 	save := flag.String("save", "", "write the final global model to this .fpm file")
+	codecName := flag.String("codec", "dense", "wire codec — dense, delta, quant8 or quant16; must match the server's")
 	flag.Parse()
+
+	codec, err := fedpower.ParseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec = codec.Seeded(*seed)
 
 	var specs []fedpower.AppSpec
 	for _, name := range strings.Split(*apps, ",") {
@@ -77,8 +84,9 @@ func main() {
 	// (jittered from the device seed so a recovering fleet spreads out) and
 	// rejoins the federation at the next broadcast after a dropped link.
 	part := &fedpower.Participant{
-		Addr: *server,
-		ID:   uint32(*id),
+		Addr:  *server,
+		ID:    uint32(*id),
+		Codec: codec,
 		Retry: fedpower.Backoff{
 			Attempts: *retries,
 			Base:     *retryBase,
@@ -86,7 +94,7 @@ func main() {
 			Jitter:   rand.New(rand.NewSource(*seed + 3)),
 		},
 	}
-	log.Printf("participating via %s as device %d, training on %s", *server, *id, *apps)
+	log.Printf("participating via %s as device %d (codec %s), training on %s", *server, *id, codec, *apps)
 
 	final, err := part.Run(fedpower.FederatedClientFunc(trainRound))
 	if err != nil {

@@ -64,6 +64,7 @@ func main() {
 	truncRate := flag.Float64("truncate-rate", 0.0, "resilience: per-I/O frame-truncation probability")
 	quorum := flag.Int("quorum", 1, "resilience: minimum surviving updates per round (0 = all devices)")
 	faultSeed := flag.Int64("fault-seed", 1, "resilience: fault-schedule seed")
+	codecName := flag.String("codec", "dense", "resilience: wire codec — dense, delta, quant8 or quant16")
 	parallel := flag.Int("parallel", 0, "worker-pool width for experiment units and federated clients (0 = all CPUs, 1 = sequential; results are bit-identical at any width)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file after the run")
@@ -134,7 +135,7 @@ func main() {
 	case "replicate":
 		err = runReplicate(o, *replicates)
 	case "resilience":
-		err = runResilience(o, *dropRate, *truncRate, *quorum, *faultSeed)
+		err = runResilience(o, *dropRate, *truncRate, *quorum, *faultSeed, *codecName)
 	case "verify":
 		err = runVerify(o)
 	case "apps":
@@ -753,10 +754,15 @@ func runMultiCore(o fedpower.Options) error {
 	return nil
 }
 
-func runResilience(o fedpower.Options, dropRate, truncRate float64, quorum int, faultSeed int64) error {
+func runResilience(o fedpower.Options, dropRate, truncRate float64, quorum int, faultSeed int64, codecName string) error {
 	fmt.Println("== Resilience: TCP federation under injected faults ==")
+	codec, err := fedpower.ParseCodec(codecName)
+	if err != nil {
+		return err
+	}
 	r := fedpower.DefaultResilienceOptions()
 	r.Options = o
+	r.Codec = codec
 	if o.Rounds == fedpower.DefaultOptions().Rounds {
 		// The paper-sized 100-round run is overkill for a fault demo; keep
 		// the scenario snappy unless -rounds asked otherwise.
@@ -773,17 +779,20 @@ func runResilience(o fedpower.Options, dropRate, truncRate float64, quorum int, 
 		Max:      500 * time.Millisecond,
 		Jitter:   rand.New(rand.NewSource(faultSeed + 1)),
 	}
-	fmt.Printf("devices %d, rounds %d, drop %.0f%%, truncate %.0f%%, quorum %d\n\n",
-		len(r.Scenario.Devices), r.Options.Rounds, dropRate*100, truncRate*100, quorum)
+	fmt.Printf("devices %d, rounds %d, drop %.0f%%, truncate %.0f%%, quorum %d, codec %s\n\n",
+		len(r.Scenario.Devices), r.Options.Rounds, dropRate*100, truncRate*100, quorum, codec)
 
 	res, err := fedpower.RunResilience(r)
 	if err != nil {
 		return err
 	}
+	numParams := fedpower.NewController(fedpower.DefaultControllerParams(fedpower.JetsonNanoTable().Len()),
+		rand.New(rand.NewSource(0))).NumParams()
 	rows := [][]string{
 		{"Rounds completed", fmt.Sprintf("%d / %d", res.RoundsCompleted, r.Options.Rounds)},
 		{"Injected faults", fmt.Sprintf("%d", res.FaultEvents)},
 		{"Server drops / rejoins", fmt.Sprintf("%d / %d", res.Drops, res.Rejoins)},
+		{"Wire codec", fmt.Sprintf("%s (%d B per model message)", codec, codec.TransferSize(numParams))},
 		{"Server bytes sent / received", fmt.Sprintf("%d / %d", res.ServerBytesSent, res.ServerBytesReceived)},
 		{"Final eval reward (12 apps)", fmt.Sprintf("%+.3f", res.FinalReward)},
 	}

@@ -37,7 +37,14 @@ func main() {
 	joinTimeout := flag.Duration("join-timeout", 10*time.Second, "deadline for an accepted connection's join frame (0 = none)")
 	out := flag.String("out", "", "write the final model as comma-separated text to this file instead of stdout")
 	modelPath := flag.String("model", "", "also write the final model in the binary .fpm format (loadable with fedpower.LoadModel)")
+	codecName := flag.String("codec", "dense", "wire codec — dense, delta, quant8 or quant16; devices must use the same")
 	flag.Parse()
+
+	codec, err := fedpower.ParseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec = codec.Seeded(*seed)
 
 	table := fedpower.JetsonNanoTable()
 	params := fedpower.DefaultControllerParams(table.Len())
@@ -51,14 +58,15 @@ func main() {
 	srv.RoundTimeout = *roundTimeout
 	srv.WriteTimeout = *writeTimeout
 	srv.JoinTimeout = *joinTimeout
+	srv.Codec = codec
 	srv.OnDrop = func(id uint32, round int, err error) {
 		log.Printf("round %d: dropped device %d: %v", round, id, err)
 	}
 	// Teardown at process exit; Serve's return value already decided the
 	// protocol outcome.
 	defer func() { _ = srv.Close() }()
-	log.Printf("listening on %s for %d devices, %d rounds, %d model parameters (%d B per transfer)",
-		srv.Addr(), *devices, *rounds, len(initial), fedpower.TransferSize(len(initial)))
+	log.Printf("listening on %s for %d devices, %d rounds, %d model parameters (codec %s, %d B per transfer)",
+		srv.Addr(), *devices, *rounds, len(initial), codec, codec.TransferSize(len(initial)))
 
 	final, err := srv.Serve(initial, func(round int, global []float64) {
 		if round%10 == 0 || round == *rounds {

@@ -14,6 +14,11 @@
 // round (quorum aggregation continues with device A alone), and device B's
 // Participant reconnects under backoff and rejoins at the next broadcast.
 //
+// The federation runs under the delta wire codec — negotiated in the join
+// frame, bit-exact with respect to the default dense float32 encoding —
+// and the byte counters report the traffic each connection actually put on
+// the wire, whatever the codec.
+//
 //	go run ./examples/federation
 package main
 
@@ -36,6 +41,11 @@ const (
 	interval = 0.5
 )
 
+// codec is the wire encoding both ends negotiate: delta ships float32
+// bit-pattern differences against a per-connection shadow of the last
+// exchanged model — the training run is bit-identical to the dense default.
+var codec = fedpower.DeltaCodec()
+
 func main() {
 	table := fedpower.JetsonNanoTable()
 	params := fedpower.DefaultControllerParams(table.Len())
@@ -54,10 +64,11 @@ func main() {
 	srv.OnDrop = func(id uint32, round int, err error) {
 		fmt.Printf("server: round %d dropped device %d (%v)\n", round, id, err)
 	}
+	srv.Codec = codec
 	// Teardown at process exit; the protocol outcome is already decided.
 	defer func() { _ = srv.Close() }()
-	fmt.Printf("aggregation server on %s — %d rounds, %d B per model transfer\n\n",
-		srv.Addr(), rounds, fedpower.TransferSize(len(initial)))
+	fmt.Printf("aggregation server on %s — %d rounds, codec %s, %d B per model transfer\n\n",
+		srv.Addr(), rounds, codec, codec.TransferSize(len(initial)))
 
 	var wg sync.WaitGroup
 	runDevice := func(name string, id uint32, seed int64, appNames []string, flakyWrite int32) {
@@ -155,8 +166,9 @@ func device(server, name string, id uint32, seed int64, appNames []string, flaky
 
 	var state []float64
 	part := &fedpower.Participant{
-		Addr: server,
-		ID:   id,
+		Addr:  server,
+		ID:    id,
+		Codec: codec,
 		Retry: fedpower.Backoff{
 			Attempts: 5,
 			// In-process rounds are sub-millisecond, so the retry pacing

@@ -271,6 +271,43 @@ func DialRetry(addr string, id uint32, b Backoff) (*Conn, error) {
 	return fed.DialRetry(addr, id, b)
 }
 
+// Codec selects the parameter encoding of the federated wire: dense float32
+// (the paper's format and the default), bit-exact delta, or lossy
+// int8/int16 quantized delta. The zero value behaves as dense on the wire.
+type Codec = fed.Codec
+
+// DenseCodec returns the dense float32 codec — the paper's 2.8 kB/transfer
+// wire format.
+func DenseCodec() Codec { return fed.DenseCodec() }
+
+// DeltaCodec returns the bit-exact shadow-delta codec: same bytes per
+// parameter as dense, identical training results, highly compressible
+// payloads.
+func DeltaCodec() Codec { return fed.DeltaCodec() }
+
+// QuantCodec returns the stochastic quantized-delta codec (8 or 16 bits per
+// parameter), cutting model-bearing wire bytes 4× or 2× versus dense at the
+// cost of bounded, error-fed-back quantization noise.
+func QuantCodec(bits int, seed int64) (Codec, error) { return fed.QuantCodec(bits, seed) }
+
+// ParseCodec resolves a -codec flag value: "dense", "delta", "quant8" or
+// "quant16".
+func ParseCodec(name string) (Codec, error) { return fed.ParseCodec(name) }
+
+// DialCodec is DialID with an explicit wire codec, which must match the
+// server's.
+func DialCodec(addr string, id uint32, codec Codec) (*Conn, error) {
+	return fed.DialCodec(addr, id, codec)
+}
+
+// FederatedRunCodec is FederatedRun with every exchange passed through the
+// parameter codec at the given parallel width, emulating the TCP wire in
+// process; dense and delta runs are bit-identical to their TCP
+// counterparts.
+func FederatedRunCodec(global []float64, clients []FederatedClient, rounds, width int, codec Codec, hook RoundHook) error {
+	return fed.RunParallelCodec(global, clients, rounds, width, codec, hook)
+}
+
 // TransferSize returns the on-wire bytes of one model transfer for a
 // network with n parameters (2748 payload bytes + 9 framing bytes for the
 // paper's 687-parameter network).

@@ -18,6 +18,7 @@ const (
 	idResilienceDevice = 300
 	idResilienceInit   = 920
 	idResilienceEval   = 1100
+	idResilienceCodec  = 1200
 )
 
 // ResilienceOptions configures the federation-resilience scenario: the
@@ -48,6 +49,13 @@ type ResilienceOptions struct {
 	JoinTimeout  time.Duration
 	// Retry is the device-side reconnect policy.
 	Retry fed.Backoff
+	// Codec selects the wire encoding of every connection (fed.Codec): the
+	// zero value is the paper's dense float32 format; delta is bit-exact
+	// with 4 B/param; quant8/quant16 are lossy with 1 or 2 B/param. The
+	// byte counters in the result report the actual on-wire traffic of the
+	// chosen codec. Quantized codecs are seeded from Options.Seed so runs
+	// stay replayable.
+	Codec fed.Codec
 }
 
 // DefaultResilienceOptions returns a small, CI-sized resilience scenario:
@@ -145,6 +153,8 @@ func RunResilience(o ResilienceOptions) (*ResilienceResult, error) {
 	srv.RoundTimeout = o.RoundTimeout
 	srv.WriteTimeout = o.WriteTimeout
 	srv.JoinTimeout = o.JoinTimeout
+	codec := o.Codec.Seeded(subseed(o.Options.Seed, idResilienceCodec))
+	srv.Codec = codec
 
 	// One participant per device, each behind its own seeded injector so
 	// fault schedules are independent of connection interleaving.
@@ -165,6 +175,7 @@ func RunResilience(o ResilienceOptions) (*ResilienceResult, error) {
 			Addr:  addr,
 			ID:    uint32(i + 1),
 			Retry: o.Retry,
+			Codec: codec,
 			Dialer: func() (net.Conn, error) {
 				c, err := net.Dial("tcp", addr)
 				if err != nil {

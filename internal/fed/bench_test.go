@@ -1,0 +1,133 @@
+package fed
+
+// Wire-path benchmarks at the paper's model size (687 parameters — a
+// 2757 B dense frame, §IV-C). The steady-state contract is 0 allocs/op for
+// every codec: encode scratch, decode buffers and the reusable message all
+// belong to the per-connection codec state. scripts/benchdiff.sh gates the
+// dense pair against BENCH_baseline.json.
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// benchCodecs enumerates the wire codecs by flag name.
+func benchCodecs(b *testing.B) []Codec {
+	b.Helper()
+	q8, err := QuantCodec(8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q16, err := QuantCodec(16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []Codec{DenseCodec(), DeltaCodec(), q8, q16}
+}
+
+// benchParams builds a paper-sized parameter vector.
+func benchParams() []float64 {
+	params := make([]float64, paperParams)
+	rng := newSplitmixForTest(11)
+	for i := range params {
+		params[i] = rng.norm()
+	}
+	return params
+}
+
+func BenchmarkWireEncode(b *testing.B) {
+	for _, codec := range benchCodecs(b) {
+		b.Run(codec.String(), func(b *testing.B) {
+			cs := newCodecState(codec, streamDown)
+			params := benchParams()
+			msg := message{kind: msgModel, round: 1, params: params}
+			w := bufio.NewWriter(io.Discard)
+			if _, err := cs.writeMessage(w, msg); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(codec.TransferSize(len(params))))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cs.writeMessage(w, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	for _, codec := range benchCodecs(b) {
+		b.Run(codec.String(), func(b *testing.B) {
+			enc := newCodecState(codec, streamDown)
+			dec := newCodecState(codec, streamDown)
+			params := benchParams()
+
+			var frame bytes.Buffer
+			w := bufio.NewWriter(&frame)
+			if _, err := enc.writeMessage(w, message{kind: msgModel, round: 1, params: params}); err != nil {
+				b.Fatal(err)
+			}
+			wire := frame.Bytes()
+
+			// Replaying one frame keeps the decoder hot without re-encoding;
+			// for the stateful codecs it advances the shadow by the same
+			// delta each time, which exercises the identical code path.
+			br := bytes.NewReader(wire)
+			r := bufio.NewReader(br)
+			var m message
+			if _, err := dec.readMessage(r, &m); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(wire)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				br.Reset(wire)
+				r.Reset(br)
+				if _, err := dec.readMessage(r, &m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWireRoundTrip(b *testing.B) {
+	for _, codec := range benchCodecs(b) {
+		b.Run(codec.String(), func(b *testing.B) {
+			enc := newCodecState(codec, streamDown)
+			dec := newCodecState(codec, streamDown)
+			params := benchParams()
+			msg := message{kind: msgModel, round: 1, params: params}
+
+			var frame bytes.Buffer
+			w := bufio.NewWriter(&frame)
+			br := bytes.NewReader(nil)
+			r := bufio.NewReader(br)
+			var m message
+			roundTrip := func() {
+				frame.Reset()
+				w.Reset(&frame)
+				if _, err := enc.writeMessage(w, msg); err != nil {
+					b.Fatal(err)
+				}
+				br.Reset(frame.Bytes())
+				r.Reset(br)
+				if _, err := dec.readMessage(r, &m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			roundTrip()
+			b.SetBytes(int64(codec.TransferSize(len(params))))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				roundTrip()
+			}
+		})
+	}
+}

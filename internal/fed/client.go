@@ -21,6 +21,12 @@ type Conn struct {
 	round     int // last round received from the server; 0 before the first
 	bytesSent int64
 	bytesRecv int64
+
+	// Per-connection codec state and a reusable inbound message (see
+	// codec.go): broadcasts decode through rx into msg, updates encode
+	// through tx, so the steady-state wire path allocates nothing.
+	tx, rx *codecState
+	msg    message
 }
 
 // Dial connects to the aggregation server at addr with client ID 0
@@ -33,11 +39,18 @@ func Dial(addr string) (*Conn, error) { return DialID(addr, 0) }
 // distinct IDs aggregates in a reproducible order no matter how connects
 // and reconnects interleave.
 func DialID(addr string, id uint32) (*Conn, error) {
+	return DialCodec(addr, id, Codec{})
+}
+
+// DialCodec is DialID with an explicit parameter codec, which must match
+// the server's — the server rejects mismatched joins by closing the
+// connection.
+func DialCodec(addr string, id uint32, codec Codec) (*Conn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("fed: dial %s: %w", addr, err)
 	}
-	c, err := NewConn(conn, id)
+	c, err := NewConnCodec(conn, id, codec)
 	if err != nil {
 		_ = conn.Close()
 		return nil, err
@@ -47,17 +60,26 @@ func DialID(addr string, id uint32) (*Conn, error) {
 
 // NewConn wraps an established transport connection (the seam the
 // fault-injection harness uses) and sends the join frame identifying this
-// device to the server.
+// device to the server, using the dense codec.
 func NewConn(conn net.Conn, id uint32) (*Conn, error) {
+	return NewConnCodec(conn, id, Codec{})
+}
+
+// NewConnCodec is NewConn with an explicit parameter codec. The codec's
+// wire ID travels in the join frame; dense joins are byte-identical to the
+// pre-codec protocol.
+func NewConnCodec(conn net.Conn, id uint32, codec Codec) (*Conn, error) {
 	c := &Conn{
 		conn: conn,
 		r:    bufio.NewReader(conn),
 		w:    bufio.NewWriter(conn),
 		id:   id,
+		tx:   newCodecState(codec, int64(streamUp)+2*int64(id)),
+		rx:   newCodecState(codec, int64(streamDown)+2*int64(id)),
 	}
 	// The join handshake is protocol framing, not a model transfer, so it
 	// stays out of the byte counters.
-	if _, err := writeMessage(c.w, message{kind: msgJoin, round: int(id)}); err != nil {
+	if _, err := c.tx.writeMessage(c.w, message{kind: msgJoin, round: int(id), codec: codec.id}); err != nil {
 		return nil, roundError(0, PhaseJoin, err)
 	}
 	return c, nil
@@ -84,8 +106,10 @@ func (c *Conn) BytesReceived() int64 { return c.bytesRecv }
 // Participate runs the client side of the protocol to completion: for every
 // round it receives the global model, invokes the local trainer, and sends
 // the result back. It returns the final global model from the server's done
-// message. The trainer receives a private copy of the global parameters and
-// its return value is not retained.
+// message. The global parameter slice passed to the trainer is reused
+// across rounds (like a RoundHook's argument) — the trainer must copy
+// anything it retains past the call; its own return value is only encoded,
+// never retained.
 //
 // Every failure is returned as a *RoundError carrying the round number and
 // protocol phase, so callers can tell a server teardown mid-round
@@ -94,22 +118,25 @@ func (c *Conn) BytesReceived() int64 { return c.bytesRecv }
 // whether reconnecting is worthwhile.
 func (c *Conn) Participate(client Client) ([]float64, error) {
 	for {
-		m, err := readMessage(c.r)
+		n, err := c.rx.readMessage(c.r, &c.msg)
 		if err != nil {
 			return nil, roundError(c.round, PhaseReceive, err)
 		}
-		c.bytesRecv += int64(TransferSize(len(m.params)))
+		c.bytesRecv += int64(n)
+		m := &c.msg
 		switch m.kind {
 		case msgDone:
-			return m.params, nil
+			// The reusable message backs m.params; hand the caller its own
+			// copy.
+			return append([]float64(nil), m.params...), nil
 		case msgModel:
 			c.round = m.round
 			updated, err := client.TrainRound(m.round, m.params)
 			if err != nil {
 				return nil, roundError(m.round, PhaseTrain, fmt.Errorf("local training: %w", err))
 			}
-			n, err := writeMessage(c.w, message{kind: msgUpdate, round: m.round, params: updated})
-			c.bytesSent += int64(n)
+			sent, err := c.tx.writeMessage(c.w, message{kind: msgUpdate, round: m.round, params: updated})
+			c.bytesSent += int64(sent)
 			if err != nil {
 				return nil, roundError(m.round, PhaseSend, err)
 			}

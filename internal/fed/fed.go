@@ -8,8 +8,13 @@
 // clients deterministically and is what the experiment harness uses. The TCP
 // transport (Server/Dial) runs the identical protocol across real processes
 // and sockets — the deployment shape of the paper, one process per edge
-// device — exchanging float32 parameter frames whose size matches the
-// paper's reported 2.8 kB per transfer.
+// device — exchanging parameter frames under a negotiated codec (codec.go):
+// dense float32 by default, whose size matches the paper's reported 2.8 kB
+// per transfer, with opt-in bit-exact delta and lossy quantized-delta
+// encodings that cut the model-bearing bytes 2–4×. RunParallelCodec (and
+// RunConfig.Codec) thread the same codec through the in-process
+// orchestrator, emulating the wire's float32 semantics exactly — a dense or
+// delta in-process run is bit-identical to the TCP run with the same codec.
 //
 // # Fault tolerance
 //
@@ -130,7 +135,25 @@ func RunParallel(global []float64, clients []Client, rounds, width int, hook Rou
 	if rounds <= 0 {
 		return fmt.Errorf("fed: round count %d must be positive", rounds)
 	}
-	return run(global, clients, nil, rounds, width, hook)
+	return run(global, clients, nil, rounds, width, Codec{}, hook)
+}
+
+// RunParallelCodec is RunParallel with every client's exchange passed
+// through the parameter codec, emulating the TCP transport's wire semantics
+// in process: broadcasts reach clients as the decoded wire view (float64
+// values of float32 wire parameters) and updates are aggregated from their
+// decoded wire views, with per-client per-direction codec state exactly as
+// a fleet of real connections would hold. For the lossless codecs the run
+// is bit-identical to the TCP federation under the same codec at any width.
+// The zero Codec disables emulation, making this identical to RunParallel.
+func RunParallelCodec(global []float64, clients []Client, rounds, width int, codec Codec, hook RoundHook) error {
+	if len(clients) == 0 {
+		return fmt.Errorf("fed: no clients")
+	}
+	if rounds <= 0 {
+		return fmt.Errorf("fed: round count %d must be positive", rounds)
+	}
+	return run(global, clients, nil, rounds, width, codec, hook)
 }
 
 // RunWeighted is Run with per-client aggregation weights — the original
@@ -158,7 +181,7 @@ func RunWeighted(global []float64, clients []Client, weights []float64, rounds i
 	if total <= 0 {
 		return fmt.Errorf("fed: aggregation weights sum to zero")
 	}
-	return run(global, clients, weights, rounds, 1, hook)
+	return run(global, clients, weights, rounds, 1, Codec{}, hook)
 }
 
 // RunSampled executes federated averaging with partial participation: each
@@ -248,6 +271,11 @@ type RunConfig struct {
 	// bit-identical at any width: survivors are averaged in stable client
 	// order and the quorum decision reads the joined round's outcome.
 	Parallelism int
+	// Codec, when explicitly constructed (DenseCodec, DeltaCodec,
+	// QuantCodec, ParseCodec), passes every exchange through the parameter
+	// codec as RunParallelCodec does; the zero value keeps the historical
+	// raw float64 exchange.
+	Codec Codec
 }
 
 // RunWithConfig executes federated averaging with the TCP transport's
@@ -277,12 +305,23 @@ func RunWithConfig(global []float64, clients []Client, cfg RunConfig) error {
 	for i := range slots {
 		slots[i] = make([]float64, len(global))
 	}
+	links := newCodecLinks(cfg.Codec, len(clients))
 	clientErrs := make([]error, len(clients))
 	for r := 1; r <= cfg.Rounds; r++ {
 		copy(broadcast, global)
 		err := par.ForEach(cfg.Parallelism, len(clients), func(i int) error {
 			clientErrs[i] = nil
-			updated, err := clients[i].TrainRound(r, broadcast)
+			view := broadcast
+			if links != nil {
+				// Wire emulation: the client sees the decoded broadcast, as
+				// over TCP. A codec failure is a harness bug, not a flaky
+				// device, so it aborts regardless of the error policy.
+				var cerr error
+				if view, cerr = links[i].broadcast(broadcast); cerr != nil {
+					return &RoundError{Round: r, Phase: PhaseBroadcast, Client: i, Err: cerr}
+				}
+			}
+			updated, err := clients[i].TrainRound(r, view)
 			if err == nil && len(updated) != len(global) {
 				err = fmt.Errorf("returned %d params, want %d", len(updated), len(global))
 			}
@@ -296,6 +335,13 @@ func RunWithConfig(global []float64, clients []Client, cfg RunConfig) error {
 				// the joined round.
 				clientErrs[i] = wrapped
 				return nil
+			}
+			if links != nil {
+				decoded, cerr := links[i].update(updated)
+				if cerr != nil {
+					return &RoundError{Round: r, Phase: PhaseCollect, Client: i, Err: cerr}
+				}
+				updated = decoded
 			}
 			copy(slots[i], updated)
 			return nil
@@ -329,26 +375,56 @@ func RunWithConfig(global []float64, clients []Client, cfg RunConfig) error {
 	return nil
 }
 
+// newCodecLinks builds one wire-emulation link per client for an active
+// codec, or nil when the codec is the zero value (raw float64 exchange).
+// Each link is touched only by its own client's worker goroutine, so the
+// emulated wire is race-free at any parallel width.
+func newCodecLinks(codec Codec, n int) []*codecLink {
+	if !codec.active() {
+		return nil
+	}
+	links := make([]*codecLink, n)
+	for i := range links {
+		links[i] = newCodecLink(codec, i)
+	}
+	return links
+}
+
 // run drives the round loop; a nil weights slice selects the unweighted
 // average. Within a round, up to width clients train concurrently; each
-// writes only its own locals slot and reads only the shared broadcast
-// snapshot, and the aggregation averages the slots in client order after
-// the pool has joined.
-func run(global []float64, clients []Client, weights []float64, rounds, width int, hook RoundHook) error {
+// writes only its own locals slot (and its own codec link, under wire
+// emulation) and reads only the shared broadcast snapshot, and the
+// aggregation averages the slots in client order after the pool has joined.
+func run(global []float64, clients []Client, weights []float64, rounds, width int, codec Codec, hook RoundHook) error {
 	locals := make([][]float64, len(clients))
 	for i := range locals {
 		locals[i] = make([]float64, len(global))
 	}
+	links := newCodecLinks(codec, len(clients))
 	broadcast := make([]float64, len(global))
 	for r := 1; r <= rounds; r++ {
 		copy(broadcast, global)
 		err := par.ForEach(width, len(clients), func(i int) error {
-			updated, err := clients[i].TrainRound(r, broadcast)
+			view := broadcast
+			if links != nil {
+				var cerr error
+				if view, cerr = links[i].broadcast(broadcast); cerr != nil {
+					return fmt.Errorf("fed: round %d client %d: %w", r, i, cerr)
+				}
+			}
+			updated, err := clients[i].TrainRound(r, view)
 			if err != nil {
 				return fmt.Errorf("fed: round %d client %d: %w", r, i, err)
 			}
 			if len(updated) != len(global) {
 				return fmt.Errorf("fed: round %d client %d returned %d params, want %d", r, i, len(updated), len(global))
+			}
+			if links != nil {
+				decoded, cerr := links[i].update(updated)
+				if cerr != nil {
+					return fmt.Errorf("fed: round %d client %d: %w", r, i, cerr)
+				}
+				updated = decoded
 			}
 			copy(locals[i], updated)
 			return nil

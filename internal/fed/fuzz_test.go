@@ -140,6 +140,17 @@ func FuzzFaultyReadMessage(f *testing.F) {
 			t.Fatalf("decoder accepted unknown message kind %d", m.kind)
 		}
 		count := int(binary.LittleEndian.Uint32(wire[5:]))
+		if m.kind == msgJoin {
+			// A join's count field carries the codec wire ID, not a
+			// parameter count; the frame is payload-free by definition.
+			if len(m.params) != 0 {
+				t.Fatalf("decoder returned %d params for a join frame", len(m.params))
+			}
+			if int(m.codec) != count {
+				t.Fatalf("decoder returned codec %d for a header declaring %d", m.codec, count)
+			}
+			return
+		}
 		if len(m.params) != count {
 			t.Fatalf("decoder returned %d params for a header declaring %d", len(m.params), count)
 		}
@@ -165,7 +176,7 @@ func FuzzReadMessage(f *testing.F) {
 		if err != nil {
 			return // malformed input must error, and did
 		}
-		if m.kind != msgModel && m.kind != msgUpdate && m.kind != msgDone {
+		if m.kind != msgModel && m.kind != msgUpdate && m.kind != msgDone && m.kind != msgJoin {
 			t.Fatalf("decoder accepted unknown message kind %d", m.kind)
 		}
 		if len(m.params) > maxWireParams {
@@ -177,8 +188,104 @@ func FuzzReadMessage(f *testing.F) {
 		if _, err := writeMessage(w, m); err != nil {
 			t.Fatalf("re-encode of decoded message: %v", err)
 		}
-		if want := headerSize + nn.WireSize(len(m.params)); buf.Len() != want {
+		want := headerSize + nn.WireSize(len(m.params))
+		if m.kind == msgJoin {
+			want = headerSize // joins are payload-free; count carries the codec ID
+		}
+		if buf.Len() != want {
 			t.Fatalf("re-encoded size %d, want %d", buf.Len(), want)
 		}
+	})
+}
+
+// codecPair builds a connected encoder/decoder state pair for one wire
+// direction under the codec, as the two ends of a connection would hold.
+func codecPair(c Codec) (enc, dec *codecState) {
+	return newCodecState(c, streamDown), newCodecState(c, streamDown)
+}
+
+// FuzzDeltaRoundTrip drives a delta-codec connection with two successive
+// models derived from fuzz input: both messages must reconstruct
+// bit-exactly on the decode side (the codec's defining guarantee), and
+// feeding the decoder arbitrary bytes must error or succeed without
+// panicking.
+func FuzzDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 192, 255}, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{}, []byte{9, 9})
+	f.Add([]byte{0, 0, 128, 127, 0, 0, 128, 255}, []byte{0, 0, 0, 0}) // ±Inf then zeros
+	f.Fuzz(func(t *testing.T, first, second []byte) {
+		enc, dec := codecPair(DeltaCodec())
+		// Successive models must share a length on a live connection; trim
+		// the second to the first's shape.
+		p1 := paramsFromBytes(first)
+		p2 := paramsFromBytes(second)
+		for len(p2) < len(p1) {
+			p2 = append(p2, 0)
+		}
+		p2 = p2[:len(p1)]
+		for round, in := range [][]float64{p1, p2} {
+			payload := append([]byte(nil), enc.encodePayload(in)...)
+			out, err := dec.decodePayload(nil, len(in), payload)
+			if err != nil {
+				t.Fatalf("round %d: decode of a fresh delta payload: %v", round, err)
+			}
+			for i := range in {
+				if !sameWireValue(in[i], out[i]) {
+					t.Fatalf("round %d param %d: %v -> %v (delta must be bit-exact)", round, i, in[i], out[i])
+				}
+			}
+		}
+		// Totality: arbitrary bytes through a delta reader never panic.
+		hostile := newCodecState(DeltaCodec(), streamUp)
+		var m message
+		_, _ = hostile.readMessage(bufio.NewReader(bytes.NewReader(second)), &m)
+	})
+}
+
+// FuzzQuantRoundTrip drives a quantized-delta connection with fuzz-derived
+// models: whatever the values (including NaN and ±Inf), encode and decode
+// must never panic, and the decoder's reconstruction must equal the
+// encoder's shadow bit-for-bit — the invariant that keeps the two ends of
+// a connection in sync and the error-feedback accumulator truthful.
+func FuzzQuantRoundTrip(f *testing.F) {
+	f.Add(uint8(8), []byte{0, 0, 128, 63, 205, 204, 76, 62}, []byte{3, 1, 4, 1})
+	f.Add(uint8(16), []byte{0, 0, 192, 255, 0, 0, 128, 127}, []byte{})
+	f.Fuzz(func(t *testing.T, bits uint8, first, second []byte) {
+		width := 8
+		if bits%2 == 1 {
+			width = 16
+		}
+		codec, err := QuantCodec(width, int64(bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, dec := codecPair(codec)
+		p1 := paramsFromBytes(first)
+		p2 := paramsFromBytes(second)
+		for len(p2) < len(p1) {
+			p2 = append(p2, 0)
+		}
+		p2 = p2[:len(p1)]
+		for round, in := range [][]float64{p1, p2} {
+			payload := append([]byte(nil), enc.encodePayload(in)...)
+			out, err := dec.decodePayload(nil, len(in), payload)
+			if err != nil {
+				t.Fatalf("round %d: decode of a fresh quant payload: %v", round, err)
+			}
+			for i := range in {
+				want := float64(math.Float32frombits(enc.shadow[i]))
+				got := out[i]
+				if math.IsNaN(want) && math.IsNaN(got) {
+					continue
+				}
+				if math.Float64bits(want) != math.Float64bits(got) {
+					t.Fatalf("round %d param %d: decoder reconstructed %v, encoder shadow holds %v", round, i, got, want)
+				}
+			}
+		}
+		// Totality: arbitrary bytes through a quant reader never panic.
+		hostile := newCodecState(codec, streamUp)
+		var m message
+		_, _ = hostile.readMessage(bufio.NewReader(bytes.NewReader(first)), &m)
 	})
 }

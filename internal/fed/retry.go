@@ -114,6 +114,11 @@ type Participant struct {
 	// fault-injection harness uses to hand back a faulty connection. nil
 	// means net.Dial("tcp", Addr).
 	Dialer func() (net.Conn, error)
+	// Codec selects the parameter encoding (codec.go); it must match the
+	// server's, and the zero value is the dense default. Every reconnect
+	// starts from fresh codec state on both sides, so rejoining under a
+	// stateful codec (delta, quantized) is safe by construction.
+	Codec Codec
 
 	reconnects int
 	lastRound  int
@@ -140,13 +145,13 @@ func (p *Participant) BytesReceived() int64 { return p.bytesRecv }
 // dial establishes one identified connection, without retry.
 func (p *Participant) dial() (*Conn, error) {
 	if p.Dialer == nil {
-		return DialID(p.Addr, p.ID)
+		return DialCodec(p.Addr, p.ID, p.Codec)
 	}
 	raw, err := p.Dialer()
 	if err != nil {
 		return nil, fmt.Errorf("fed: dial %s: %w", p.Addr, err)
 	}
-	c, err := NewConn(raw, p.ID)
+	c, err := NewConnCodec(raw, p.ID, p.Codec)
 	if err != nil {
 		_ = raw.Close()
 		return nil, err

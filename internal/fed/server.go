@@ -55,6 +55,11 @@ type Server struct {
 	// round it was lost in, and the error that killed it. Called from the
 	// Serve goroutine only, never concurrently.
 	OnDrop func(id uint32, round int, err error)
+	// Codec selects the parameter encoding of every connection (codec.go).
+	// The zero value is the dense float32 codec — the paper's wire format.
+	// Joins advertising a different codec are rejected before any model
+	// bytes move, so a mixed fleet fails fast instead of desynchronising.
+	Codec Codec
 
 	mu        sync.Mutex
 	bytesSent int64
@@ -144,6 +149,14 @@ type serverConn struct {
 	w    *bufio.Writer
 	id   uint32 // client ID from the join frame
 	seq  int    // join sequence, tiebreak for duplicate IDs
+
+	// Per-connection codec state and a reusable inbound message: broadcast
+	// encodes through tx, collect decodes through rx into msg, so the
+	// steady-state wire path allocates nothing. msg.params is valid until
+	// the next collect on this connection — aggregation finishes within the
+	// round, so nothing retains it longer.
+	tx, rx *codecState
+	msg    message
 }
 
 // acceptLoop owns the listener: it accepts connections, reads each one's
@@ -194,6 +207,11 @@ func (s *Server) readJoin(conn net.Conn, seq int) (*serverConn, error) {
 	if m.kind != msgJoin {
 		return nil, fmt.Errorf("fed: first frame is message type %d, want join", m.kind)
 	}
+	if m.codec != s.Codec.id {
+		// Codec negotiation: both directions of a connection must use the
+		// server's codec, or the shadow states desynchronise silently.
+		return nil, fmt.Errorf("fed: client codec id %d, server runs %s", m.codec, s.Codec)
+	}
 	if s.JoinTimeout > 0 {
 		// Clear the join deadline; round deadlines are set per phase.
 		if err := conn.SetReadDeadline(time.Time{}); err != nil {
@@ -201,6 +219,8 @@ func (s *Server) readJoin(conn net.Conn, seq int) (*serverConn, error) {
 		}
 	}
 	sc.id = uint32(m.round)
+	sc.tx = newCodecState(s.Codec, int64(streamDown)+2*int64(sc.id))
+	sc.rx = newCodecState(s.Codec, int64(streamUp)+2*int64(sc.id))
 	return sc, nil
 }
 
@@ -292,9 +312,6 @@ func (s *Server) Serve(initial []float64, hook RoundHook) ([]float64, error) {
 				Err: fmt.Errorf("%d of %d updates arrived, quorum %d: %w",
 					len(locals), s.numClients, quorum, firstErr)}
 		}
-		s.mu.Lock()
-		s.bytesRecv += int64(len(locals) * TransferSize(len(global)))
-		s.mu.Unlock()
 
 		// Quorum aggregation: the unweighted mean of exactly the surviving
 		// clients' parameters, in stable (ID, seq) order.
@@ -372,7 +389,7 @@ func (s *Server) broadcast(pool []*serverConn, m message, round int) []*serverCo
 					return
 				}
 			}
-			n, err := writeMessage(sc.w, m)
+			n, err := sc.tx.writeMessage(sc.w, m)
 			sent[i] = n
 			errs[i] = err
 		}(i, sc)
@@ -400,16 +417,20 @@ func (s *Server) broadcast(pool []*serverConn, m message, round int) []*serverCo
 // failure for quorum-abort diagnostics. Failed clients — deadline misses,
 // dead sockets, wrong round, wrong shape — are dropped; their connections
 // are closed so a straggler's late frame can never desynchronise a later
-// round (the device rejoins with a fresh connection instead).
+// round (the device rejoins with a fresh connection instead). Byte
+// accounting sums the bytes each complete, accepted update actually put on
+// the wire — under the dense codec exactly TransferSize per survivor, and
+// under the compressed codecs their true (smaller) frame sizes.
 func (s *Server) collect(pool []*serverConn, round, numParams int) ([]*serverConn, [][]float64, error) {
 	var wg sync.WaitGroup
 	errs := make([]error, len(pool))
 	updates := make([][]float64, len(pool))
+	recv := make([]int, len(pool))
 	for i, sc := range pool {
 		wg.Add(1)
 		go func(i, round int, sc *serverConn) {
 			defer wg.Done()
-			updates[i], errs[i] = s.collectOne(sc, round, numParams)
+			updates[i], recv[i], errs[i] = s.collectOne(sc, round, numParams)
 		}(i, round, sc)
 	}
 	wg.Wait()
@@ -417,6 +438,7 @@ func (s *Server) collect(pool []*serverConn, round, numParams int) ([]*serverCon
 	alive := pool[:0]
 	var locals [][]float64
 	var firstErr error
+	var received int64
 	for i, sc := range pool {
 		if errs[i] != nil {
 			wrapped := &RoundError{Round: round, Phase: PhaseCollect, Client: int(sc.id), Err: errs[i]}
@@ -428,29 +450,37 @@ func (s *Server) collect(pool []*serverConn, round, numParams int) ([]*serverCon
 		}
 		alive = append(alive, sc)
 		locals = append(locals, updates[i])
+		received += int64(recv[i])
 	}
+	s.mu.Lock()
+	s.bytesRecv += received
+	s.mu.Unlock()
 	return alive, locals, firstErr
 }
 
-// collectOne reads and validates a single client's update for the round.
-func (s *Server) collectOne(sc *serverConn, round, numParams int) ([]float64, error) {
+// collectOne reads and validates a single client's update for the round,
+// returning the decoded parameters (backed by the connection's reusable
+// message, valid until its next read) and the actual bytes the frame
+// occupied on the wire.
+func (s *Server) collectOne(sc *serverConn, round, numParams int) ([]float64, int, error) {
 	if s.RoundTimeout > 0 {
 		if err := sc.conn.SetReadDeadline(s.now().Add(s.RoundTimeout)); err != nil {
-			return nil, fmt.Errorf("set deadline: %w", err)
+			return nil, 0, fmt.Errorf("set deadline: %w", err)
 		}
 	}
-	m, err := readMessage(sc.r)
+	n, err := sc.rx.readMessage(sc.r, &sc.msg)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	m := &sc.msg
 	if m.kind != msgUpdate {
-		return nil, fmt.Errorf("fed: message type %d, want update", m.kind)
+		return nil, 0, fmt.Errorf("fed: message type %d, want update", m.kind)
 	}
 	if m.round != round {
-		return nil, fmt.Errorf("fed: answered round %d during round %d", m.round, round)
+		return nil, 0, fmt.Errorf("fed: answered round %d during round %d", m.round, round)
 	}
 	if len(m.params) != numParams {
-		return nil, fmt.Errorf("fed: sent %d params, want %d", len(m.params), numParams)
+		return nil, 0, fmt.Errorf("fed: sent %d params, want %d", len(m.params), numParams)
 	}
-	return m.params, nil
+	return m.params, n, nil
 }

@@ -10,33 +10,38 @@ import (
 )
 
 // Wire protocol of the TCP transport. Every message is a fixed 9-byte
-// little-endian header followed by an optional float32 parameter payload:
+// little-endian header followed by an optional parameter payload:
 //
 //	offset 0: type  (uint8)  — msgModel, msgUpdate, msgDone or msgJoin
 //	offset 1: round (uint32) — 1-based federated round number
-//	offset 5: count (uint32) — number of float32 parameters that follow
+//	offset 5: count (uint32) — number of parameters that follow
 //
-// A model payload for the paper's 687-parameter network is 2748 bytes,
-// matching the 2.8 kB per transfer reported in §IV-C (the 9-byte header is
-// protocol framing, not model data). The join frame reuses the header with
-// the round field carrying the device's self-assigned client ID; it is sent
-// once per connection so the server can give every device a stable
-// aggregation slot across reconnects (byte counters exclude it — they track
-// model-bearing traffic, the paper's metric).
+// The payload encoding is the connection's negotiated codec (see codec.go):
+// dense float32 by default, so a dense model payload for the paper's
+// 687-parameter network is 2748 bytes, matching the 2.8 kB per transfer
+// reported in §IV-C (the 9-byte header is protocol framing, not model
+// data). The join frame reuses the header with the round field carrying the
+// device's self-assigned client ID and the count field carrying the
+// client's codec wire ID — zero for dense, so a dense join frame is
+// byte-identical to the pre-codec protocol. It is sent once per connection
+// so the server can give every device a stable aggregation slot across
+// reconnects and reject codec mismatches before any model bytes move (byte
+// counters exclude it — they track model-bearing traffic, the paper's
+// metric).
 //
 // Privacy contract: the payload carries learned model parameters and
 // nothing else — never raw telemetry (observations, power readings,
 // traces). This is the paper's federated-learning privacy claim, and it is
 // machine-checked: the privacytaint analyzer (internal/lint) treats
-// message.params and every Write in this package as a sink and proves no
-// telemetry-derived value reaches them, with (*nn.Network).Params as the
-// only sanctioned declassification. See DESIGN.md, "Machine-checked
-// privacy boundary".
+// message.params, the codec encoders and every Write in this package as a
+// sink and proves no telemetry-derived value reaches them, with
+// (*nn.Network).Params as the only sanctioned declassification. See
+// DESIGN.md, "Machine-checked privacy boundary".
 const (
 	msgModel  = byte(1) // server → client: global model for the round
 	msgUpdate = byte(2) // client → server: locally optimised model
 	msgDone   = byte(3) // server → client: training finished, payload = final model
-	msgJoin   = byte(4) // client → server: hello after dial; round field = client ID, no payload
+	msgJoin   = byte(4) // client → server: hello after dial; round = client ID, count = codec ID, no payload
 )
 
 const headerSize = 9
@@ -48,22 +53,35 @@ const maxWireParams = 1 << 24
 type message struct {
 	kind   byte
 	round  int
+	codec  byte // join frames only: the client's codec wire ID
 	params []float64
 }
 
-// writeMessage frames and writes one message, returning the number of bytes
-// written on the wire.
-func writeMessage(w *bufio.Writer, m message) (int, error) {
-	var hdr [headerSize]byte
+// writeMessage frames and writes one message under this direction's codec,
+// returning the number of bytes written on the wire. The params slice is
+// only read; encode scratch is codec-owned, so the steady-state path
+// allocates nothing.
+func (cs *codecState) writeMessage(w *bufio.Writer, m message) (int, error) {
+	hdr := &cs.hdr
 	hdr[0] = m.kind
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(m.round))
+	if m.kind == msgJoin {
+		binary.LittleEndian.PutUint32(hdr[5:], uint32(m.codec))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return 0, fmt.Errorf("fed: write header: %w", err)
+		}
+		if err := w.Flush(); err != nil {
+			return headerSize, fmt.Errorf("fed: flush: %w", err)
+		}
+		return headerSize, nil
+	}
 	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(m.params)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return 0, fmt.Errorf("fed: write header: %w", err)
 	}
 	n := headerSize
 	if len(m.params) > 0 {
-		payload := nn.EncodeParams(m.params)
+		payload := cs.encodePayload(m.params)
 		if _, err := w.Write(payload); err != nil {
 			return n, fmt.Errorf("fed: write payload: %w", err)
 		}
@@ -75,35 +93,73 @@ func writeMessage(w *bufio.Writer, m message) (int, error) {
 	return n, nil
 }
 
-// readMessage reads and decodes one framed message.
-func readMessage(r *bufio.Reader) (message, error) {
-	var hdr [headerSize]byte
+// readMessage reads and decodes one framed message under this direction's
+// codec into m, reusing m's params storage, and returns the number of bytes
+// consumed from the wire. The decoded params are valid until the next
+// readMessage on the same message value.
+func (cs *codecState) readMessage(r *bufio.Reader, m *message) (int, error) {
+	hdr := &cs.hdr
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return message{}, fmt.Errorf("fed: read header: %w", err)
+		return 0, fmt.Errorf("fed: read header: %w", err)
 	}
 	kind := hdr[0]
 	if kind != msgModel && kind != msgUpdate && kind != msgDone && kind != msgJoin {
-		return message{}, fmt.Errorf("fed: unknown message type %d", kind)
+		return headerSize, fmt.Errorf("fed: unknown message type %d", kind)
 	}
 	round := int(binary.LittleEndian.Uint32(hdr[1:]))
 	count := int(binary.LittleEndian.Uint32(hdr[5:]))
-	if count > maxWireParams {
-		return message{}, fmt.Errorf("fed: parameter count %d exceeds limit", count)
+	if kind == msgJoin {
+		// The count field of a join frame carries the codec wire ID, and a
+		// join never has a payload.
+		if count > int(^byte(0)) {
+			return headerSize, fmt.Errorf("fed: join codec id %d exceeds limit", count)
+		}
+		m.kind, m.round, m.codec, m.params = kind, round, byte(count), m.params[:0]
+		return headerSize, nil
 	}
-	m := message{kind: kind, round: round}
-	if count > 0 {
-		buf := make([]byte, nn.WireSize(count))
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return message{}, fmt.Errorf("fed: read payload: %w", err)
-		}
-		m.params = make([]float64, count)
-		if err := nn.DecodeParams(m.params, buf); err != nil {
-			return message{}, err
-		}
+	if count > maxWireParams {
+		return headerSize, fmt.Errorf("fed: parameter count %d exceeds limit", count)
+	}
+	m.kind, m.round, m.codec = kind, round, 0
+	n := headerSize
+	if count == 0 {
+		m.params = m.params[:0]
+		return n, nil
+	}
+	buf := cs.growScratch(cs.codec.payloadSize(count))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return n, fmt.Errorf("fed: read payload: %w", err)
+	}
+	n += len(buf)
+	params, err := cs.decodePayload(m.params, count, buf)
+	if err != nil {
+		return n, err
+	}
+	m.params = params
+	return n, nil
+}
+
+// writeMessage frames and writes one dense-encoded message, returning the
+// number of bytes written on the wire. It is the codec-unaware entry point
+// of the original protocol — equivalent to a fresh dense codecState, which
+// carries no cross-message state.
+func writeMessage(w *bufio.Writer, m message) (int, error) {
+	var cs codecState
+	return cs.writeMessage(w, m)
+}
+
+// readMessage reads and decodes one dense-encoded framed message.
+func readMessage(r *bufio.Reader) (message, error) {
+	var cs codecState
+	var m message
+	_, err := cs.readMessage(r, &m)
+	if err != nil {
+		return message{}, err
 	}
 	return m, nil
 }
 
-// TransferSize returns the on-wire size in bytes of one model message for a
-// network with n parameters.
+// TransferSize returns the on-wire size in bytes of one dense model message
+// for a network with n parameters — the paper's §IV-C accounting. For other
+// codecs, see Codec.TransferSize.
 func TransferSize(n int) int { return headerSize + nn.WireSize(n) }

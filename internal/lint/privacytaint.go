@@ -61,8 +61,9 @@ type TaintConfig struct {
 //	sources  sim.Observation, sim.Stats, trace.Entry, and the sim.Device
 //	         accessors producing them (Step, Stats)
 //	sinks    the fed wire message payload (fed.message.params), the wire
-//	         parameter encoder (nn.EncodeParams), and every Write-style
-//	         call inside internal/fed
+//	         parameter encoders (nn.EncodeParams, nn.EncodeParamsInto and
+//	         the fed codec payload encoder), and every Write-style call
+//	         inside internal/fed
 //	allowed  (*nn.Network).Params — the learned parameter vector, the only
 //	         data the paper permits to leave a device
 func DefaultPrivacyConfig() TaintConfig {
@@ -78,6 +79,8 @@ func DefaultPrivacyConfig() TaintConfig {
 		},
 		SinkFuncs: []string{
 			"fedpower/internal/nn.EncodeParams",
+			"fedpower/internal/nn.EncodeParamsInto",
+			"(*fedpower/internal/fed.codecState).encodePayload",
 		},
 		SinkFields: []string{
 			"fedpower/internal/fed.message.params",

@@ -23,11 +23,44 @@ func WireSize(n int) int { return 4 * n }
 
 // EncodeParams serialises params as little-endian float32 values.
 func EncodeParams(params []float64) []byte {
-	buf := make([]byte, WireSize(len(params)))
-	for i, p := range params {
-		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(float32(p)))
+	return EncodeParamsInto(nil, params)
+}
+
+// EncodeParamsInto serialises params into dst's storage, growing it only
+// when its capacity is insufficient, and returns the encoded slice. Callers
+// on the federated hot path keep one scratch buffer per connection, so the
+// steady-state wire path allocates nothing. Like EncodeParams, its inputs
+// are a privacytaint sink.
+func EncodeParamsInto(dst []byte, params []float64) []byte {
+	need := WireSize(len(params))
+	if cap(dst) < need {
+		dst = make([]byte, need)
 	}
-	return buf
+	dst = dst[:need]
+	for i, p := range params {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(float32(p)))
+	}
+	return dst
+}
+
+// DecodeParamsInto deserialises a buffer produced by EncodeParams into
+// dst's storage — the parameter count is taken from the buffer length, and
+// dst grows only when its capacity is insufficient. It is the
+// allocation-free sibling of DecodeParams for callers that reuse one
+// parameter slice per connection.
+func DecodeParamsInto(dst []float64, buf []byte) ([]float64, error) {
+	if len(buf)%4 != 0 {
+		return dst, fmt.Errorf("nn: decode %d bytes: not a whole number of float32 values", len(buf))
+	}
+	n := len(buf) / 4
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
+	}
+	return dst, nil
 }
 
 // DecodeParams deserialises a buffer produced by EncodeParams into dst,

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # benchdiff.sh — hot-path benchmark regression gate (`make bench`).
 #
-# Runs the two guarded hot-path benchmarks with -benchmem:
+# Runs the guarded hot-path benchmarks with -benchmem:
 #
 #   BenchmarkControlStepLatency — one control decision (the per-interval
 #                                 cost on the device, §IV-C)
 #   BenchmarkPolicyUpdate       — one mini-batch policy update (the
 #                                 training hot path)
+#   BenchmarkWireEncode/Decode/RoundTrip
+#                               — one 687-parameter model frame through the
+#                                 federation wire path, per codec; every
+#                                 variant is recorded, the dense ones (the
+#                                 paper's wire format) are gated
 #
 # writes the measurements to BENCH_<date>.json, then compares them against
 # the committed BENCH_baseline.json and fails when
@@ -21,19 +26,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN='BenchmarkControlStepLatency$|BenchmarkPolicyUpdate$'
+PATTERN='BenchmarkControlStepLatency$|BenchmarkPolicyUpdate$|BenchmarkWireEncode$|BenchmarkWireDecode$|BenchmarkWireRoundTrip$'
 BUDGET_PCT="${BENCH_BUDGET_PCT:-20}"
 BASELINE="BENCH_baseline.json"
 TODAY="$(date +%Y-%m-%d)"
 OUT="BENCH_${TODAY}.json"
 
-echo "==> go test -bench '$PATTERN' -benchmem ."
-RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "${BENCH_TIME:-1s}" .)"
+echo "==> go test -bench '$PATTERN' -benchmem . ./internal/fed"
+RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "${BENCH_TIME:-1s}" . ./internal/fed)"
 echo "$RAW"
 
 # Render the `go test -bench` table as a small JSON document. Bench lines
 # look like:
 #   BenchmarkPolicyUpdate-8   13940   87642 ns/op   1 B/op   0 allocs/op
+# and, for benchmarks that call SetBytes, carry an extra MB/s column — so
+# each value is found by its unit label, not its column position.
 {
   echo '{'
   echo "  \"date\": \"${TODAY}\","
@@ -42,8 +49,14 @@ echo "$RAW"
   echo "$RAW" | awk '
     /^Benchmark/ {
       name = $1; sub(/-[0-9]+$/, "", name)
+      ns = ""; bytes = 0; allocs = 0
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        else if ($i == "B/op") bytes = $(i - 1)
+        else if ($i == "allocs/op") allocs = $(i - 1)
+      }
       printf "%s    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-             sep, name, $3, $5, $7
+             sep, name, ns, bytes, allocs
       sep = ",\n"
     }
     END { print "" }'
@@ -72,7 +85,8 @@ if [ ! -f "$BASELINE" ]; then
 fi
 
 fail=0
-for name in BenchmarkControlStepLatency BenchmarkPolicyUpdate; do
+for name in BenchmarkControlStepLatency BenchmarkPolicyUpdate \
+            BenchmarkWireEncode/dense BenchmarkWireDecode/dense BenchmarkWireRoundTrip/dense; do
   cur_ns="$(json_field "$OUT" "$name" ns_per_op)"
   cur_allocs="$(json_field "$OUT" "$name" allocs_per_op)"
   base_ns="$(json_field "$BASELINE" "$name" ns_per_op)"

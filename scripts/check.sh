@@ -13,9 +13,11 @@
 #                        concurrency: quorum rounds with slow/dead clients)
 #   6. determinism     — the resilience tests twice over (fault-injection
 #                        schedules and zero-fault TCP runs must replay
-#                        bit-identically) and the parallel experiment
+#                        bit-identically), the parallel experiment
 #                        engine against sequential execution (bit-identical
-#                        at every pool width)
+#                        at every pool width), and the codec bit-identity
+#                        tests (dense and delta federations — in-process at
+#                        widths 1 and 8 and over TCP — must agree bit-for-bit)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,7 +46,7 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go test -run 'Resilience|ParallelMatchesSequential' -count=2 (determinism replay)"
-go test -run 'Resilience|ParallelMatchesSequential' -count=2 ./internal/fed/... ./internal/experiment/...
+echo "==> go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical' -count=2 (determinism replay)"
+go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/...
 
 echo "==> all checks passed"
