@@ -1,8 +1,11 @@
 // fedlint runs the repo-native static-analysis suite (internal/lint) over
 // the module and exits non-zero on findings. It enforces the invariants the
 // compiler cannot: seeded-RNG determinism, simulated-time purity,
-// error-checked wire serialization, tolerance-based float comparison, and
-// supervised goroutine launches.
+// error-checked wire serialization, tolerance-based float comparison,
+// supervised goroutine launches, telemetry that never reaches the
+// federated wire (privacytaint), allocation-free annotated hot paths
+// (allocfree), map folds that never observe iteration order (maporder),
+// and worker-pool tasks that write only their own slot (slotrace).
 //
 // Usage:
 //
@@ -14,9 +17,9 @@
 //
 // Arguments select which directories' findings are reported; the whole
 // module is always loaded and type-checked so cross-package types resolve.
-// Interprocedural findings (privacytaint) carry their full source → sink
-// path: as indented hops in text mode, a "path" array in -json, and
-// codeFlows in -sarif. Exit status: 0 clean, 1 findings, 2 load or usage
+// Interprocedural findings (privacytaint, allocfree, maporder, slotrace)
+// carry their full source → sink or root → allocation path: as indented
+// hops in text mode, a "path" array in -json, and codeFlows in -sarif. Exit status: 0 clean, 1 findings, 2 load or usage
 // error (-json/-sarif keep the same exit contract, so CI can both archive
 // the artifact and gate on it).
 package main

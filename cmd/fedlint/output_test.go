@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"go/token"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -103,5 +105,86 @@ func TestWriteSARIF(t *testing.T) {
 	}
 	if len(run.Results[1].CodeFlows) != 0 {
 		t.Errorf("single-site finding grew a codeFlow")
+	}
+}
+
+// TestEffectFixtureRendering drives the seeded effectmod violations through
+// all three output formats: every interprocedural finding must surface its
+// position-annotated path as numbered hops in text, a path array in -json,
+// and a codeFlow in -sarif.
+func TestEffectFixtureRendering(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "effectmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatalf("load fixture module: %v", err)
+	}
+	suite := []lint.Analyzer{
+		lint.AllocFree{},
+		lint.MapOrder{},
+		lint.SlotRace{ForEach: []string{"effectmod/par.ForEach"}},
+	}
+	diags := lint.Run(pkgs, suite)
+	var withPath []lint.Diagnostic
+	for _, d := range diags {
+		if len(d.Path) > 0 {
+			withPath = append(withPath, d)
+		}
+	}
+	if len(withPath) < 3 {
+		t.Fatalf("fixture produced %d path-carrying findings, want at least one per analyzer", len(withPath))
+	}
+
+	// Text: numbered hops under the finding line.
+	for _, d := range withPath {
+		text := d.String()
+		if !strings.Contains(text, "[1] ") || !strings.Contains(text, fmt.Sprintf("[%d] ", len(d.Path))) {
+			t.Errorf("text rendering lost hops:\n%s", text)
+		}
+	}
+
+	// JSON: path array with file-relative hop positions.
+	var jsonBuf bytes.Buffer
+	if err := writeJSON(&jsonBuf, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(jsonBuf.Bytes(), &findings); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	jsonPaths := 0
+	for _, f := range findings {
+		jsonPaths += len(f.Path)
+		for _, h := range f.Path {
+			if strings.HasPrefix(h.File, "/") || h.Line == 0 {
+				t.Errorf("JSON hop not relativized or unpositioned: %+v", h)
+			}
+		}
+	}
+	if jsonPaths == 0 {
+		t.Error("JSON output carried no path hops")
+	}
+
+	// SARIF: one codeFlow per path-carrying finding, hop counts preserved.
+	var sarifBuf bytes.Buffer
+	if err := writeSARIF(&sarifBuf, root, suite, diags); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(sarifBuf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid SARIF: %v", err)
+	}
+	flows := 0
+	for _, r := range log.Runs[0].Results {
+		for _, cf := range r.CodeFlows {
+			for _, tf := range cf.ThreadFlows {
+				flows += len(tf.Locations)
+			}
+		}
+	}
+	if flows != jsonPaths {
+		t.Errorf("SARIF threadFlow locations = %d, JSON path hops = %d; formats disagree", flows, jsonPaths)
 	}
 }

@@ -112,7 +112,10 @@ func (c *Collab) Summary() LocalSummary {
 // policy: per state, the average reward is the visit-weighted mean across
 // devices, the visit count is the sum, and the best action is taken from
 // the device reporting the highest average reward for that state (the most
-// successful experience wins).
+// successful experience wins). Each summary is folded in sorted state
+// order: the float accumulation and the best-action tie-break would
+// otherwise depend on map iteration order (the maporder analyzer proves
+// this stays true).
 func Aggregate(summaries []LocalSummary) map[StateKey]GlobalEntry {
 	type acc struct {
 		weighted float64 // Σ r̄_i·n_i
@@ -123,7 +126,8 @@ func Aggregate(summaries []LocalSummary) map[StateKey]GlobalEntry {
 	}
 	accs := make(map[StateKey]*acc)
 	for _, sum := range summaries {
-		for s, e := range sum {
+		for _, s := range SortedStates(sum) {
+			e := sum[s]
 			a, ok := accs[s]
 			if !ok {
 				a = &acc{}
@@ -137,7 +141,8 @@ func Aggregate(summaries []LocalSummary) map[StateKey]GlobalEntry {
 		}
 	}
 	global := make(map[StateKey]GlobalEntry, len(accs))
-	for s, a := range accs {
+	for _, s := range sortedKeys(accs) {
+		a := accs[s]
 		avg := 0.0
 		if a.visits > 0 {
 			avg = a.weighted / float64(a.visits)
@@ -148,24 +153,33 @@ func Aggregate(summaries []LocalSummary) map[StateKey]GlobalEntry {
 }
 
 // SortedStates returns the global policy's states in a deterministic order,
-// for tests and reporting.
+// for aggregation, tests and reporting.
 func SortedStates(g map[StateKey]GlobalEntry) []StateKey {
-	keys := make([]StateKey, 0, len(g))
-	for k := range g {
+	return sortedKeys(g)
+}
+
+// sortedKeys returns m's keys in the canonical state order, the
+// sort-then-range half of every deterministic fold in this package.
+func sortedKeys[V any](m map[StateKey]V) []StateKey {
+	keys := make([]StateKey, 0, len(m))
+	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.F != b.F {
-			return a.F < b.F
-		}
-		if a.P != b.P {
-			return a.P < b.P
-		}
-		if a.IPC != b.IPC {
-			return a.IPC < b.IPC
-		}
-		return a.MPKI < b.MPKI
-	})
+	sort.Slice(keys, func(i, j int) bool { return lessStateKey(keys[i], keys[j]) })
 	return keys
+}
+
+// lessStateKey is the canonical ordering of discretized states, shared by
+// every sorted-keys helper in the package.
+func lessStateKey(a, b StateKey) bool {
+	if a.F != b.F {
+		return a.F < b.F
+	}
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.IPC != b.IPC {
+		return a.IPC < b.IPC
+	}
+	return a.MPKI < b.MPKI
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"fedpower/internal/sim"
 )
@@ -188,11 +189,13 @@ func (a *Profit) StateStats(s StateKey) (avg float64, n int) {
 }
 
 // VisitedStates returns the keys of all states with at least one
-// observation, in map order (callers needing determinism must sort).
+// observation, in the canonical state order — deterministic, so callers
+// may fold over it directly.
 func (a *Profit) VisitedStates() []StateKey {
 	keys := make([]StateKey, 0, len(a.table))
 	for k := range a.table {
 		keys = append(keys, k)
 	}
+	sort.Slice(keys, func(i, j int) bool { return lessStateKey(keys[i], keys[j]) })
 	return keys
 }

@@ -302,6 +302,8 @@ func (c *Controller) AdvanceSchedule() { c.step++ }
 // (Eq. 2). Updating only the taken action's output is what makes the
 // regression a contextual bandit value estimate rather than a full
 // distribution fit.
+//
+//fedlint:allocfree
 func (c *Controller) Update() {
 	if c.buf.Len() == 0 {
 		return

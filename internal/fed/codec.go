@@ -263,6 +263,8 @@ func (cs *codecState) growScratch(n int) []byte {
 // buffer — valid until the next encode. Codec encoders are a privacytaint
 // sink, like nn.EncodeParams: only clean, Params-derived vectors may be
 // encoded for transfer.
+//
+//fedlint:allocfree
 func (cs *codecState) encodePayload(params []float64) []byte {
 	if len(params) == 0 {
 		return nil
@@ -281,6 +283,8 @@ func (cs *codecState) encodePayload(params []float64) []byte {
 // decodePayload decodes a payload for count parameters into dst (grown as
 // needed), updating this direction's shadow state, and returns the decoded
 // vector.
+//
+//fedlint:allocfree
 func (cs *codecState) decodePayload(dst []float64, count int, payload []byte) ([]float64, error) {
 	if len(payload) != cs.codec.payloadSize(count) {
 		return dst, fmt.Errorf("fed: codec %s: %d payload bytes for %d params (want %d)",

@@ -46,3 +46,30 @@ func BenchmarkPrivacyTaint(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEffectAnalysis isolates the effect-and-allocation layer added
+// on top of the call graph: module index construction plus the allocfree
+// proof, the maporder flow search and the slotrace write-effect pass. It
+// rides the same benchdiff gate as the taint pass — the static proofs must
+// stay cheap enough to run on every test invocation.
+func BenchmarkEffectAnalysis(b *testing.B) {
+	wd, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := LoadModule(wd)
+	if err != nil {
+		b.Fatalf("load module: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod := NewModule(pkgs)
+		n := 0
+		n += len(AllocFree{}.CheckModule(mod))
+		n += len(MapOrder{}.CheckModule(mod))
+		n += len(SlotRace{ForEach: DefaultSlotRaceConfig()}.CheckModule(mod))
+		if n != 0 {
+			b.Fatalf("module not effect-clean during benchmark: %d findings", n)
+		}
+	}
+}

@@ -88,6 +88,9 @@ func DefaultSuite() []Analyzer {
 		FloatEq{},
 		GoLaunch{},
 		PrivacyTaint{Config: DefaultPrivacyConfig()},
+		AllocFree{},
+		MapOrder{},
+		SlotRace{ForEach: DefaultSlotRaceConfig()},
 	}
 }
 
@@ -121,19 +124,8 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		}
 	}
 	out = append(out, ignores.unused(running)...)
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
+	out = append(out, ignores.unknownNames()...)
+	sortDiagnostics(out)
 	return out
 }
 
@@ -141,6 +133,10 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 type ignoreDirective struct {
 	// analyzers lists the suppressed analyzer names; empty means all.
 	analyzers []string
+	// unknown lists scoped names that match no analyzer in the suite —
+	// each is a finding (the suppression the author intended never
+	// applies).
+	unknown []string
 	// pos is where the directive comment sits, for unused-ignore reporting.
 	pos token.Position
 	// used records whether the directive suppressed at least one finding.
@@ -212,7 +208,50 @@ func (s ignoreSet) unused(running map[string]bool) []Diagnostic {
 			})
 		}
 	}
+	// The set is a map of maps, so emit in position order for determinism
+	// (Run sorts the merged output again, but tests may call this alone).
+	sortDiagnostics(out)
 	return out
+}
+
+// unknownNames reports every directive that scopes itself to an analyzer
+// name the suite has never heard of: the suppression the author intended
+// silently never applies, which is worse than a stale one.
+func (s ignoreSet) unknownNames() []Diagnostic {
+	var out []Diagnostic
+	for _, lines := range s {
+		for _, dir := range lines {
+			for _, name := range dir.unknown {
+				out = append(out, Diagnostic{
+					Analyzer: "unusedignore",
+					Pos:      dir.pos,
+					Message:  fmt.Sprintf("//fedlint:ignore names unknown analyzer %q; no analyzer by that name exists, so this suppression never applies", name),
+				})
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// sortDiagnostics orders diagnostics by position, then analyzer name.
+func sortDiagnostics(out []Diagnostic) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
 }
 
 const ignorePrefix = "//fedlint:ignore"
@@ -266,14 +305,22 @@ func parseIgnore(text string) (ignoreDirective, bool) {
 		return ignoreDirective{}, true
 	}
 	names := strings.Split(fields[0], ",")
+	var unknown []string
 	for _, n := range names {
 		if !knownAnalyzers[n] {
-			// First token is not an analyzer list; the whole rest is the
-			// reason and the directive applies to every analyzer.
-			return ignoreDirective{}, true
+			unknown = append(unknown, n)
 		}
 	}
-	return ignoreDirective{analyzers: names}, true
+	if len(unknown) == len(names) && len(names) == 1 && len(fields) > 1 {
+		// A single non-analyzer token followed by more words is the start
+		// of a free-form reason; the directive applies to every analyzer.
+		return ignoreDirective{}, true
+	}
+	// The first token is an analyzer list. Names that match no analyzer
+	// in the suite are reported (unknownNames): a comma list is
+	// unambiguously a scope, and a lone unknown token with no reason text
+	// is a scope the author misspelled, not a reason.
+	return ignoreDirective{analyzers: names, unknown: unknown}, true
 }
 
 // inspectWithStack walks root in depth-first order like ast.Inspect while

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder proves the determinism claim the replay gate checks
+// dynamically: Go's map iteration order is randomized per run, so any
+// value that depends on the order in which a `range` over a map visits
+// its entries is schedule-dependent output. For every function body the
+// analyzer builds a value-flow graph (the same engine privacytaint
+// searches, scoped to the one function), seeds it with the key and value
+// bindings of each range-over-map as roots, and flags flows into the
+// three sink shapes where ordering becomes observable:
+//
+//   - order-dependent accumulation: compound assignment (+=, -=, *=, /=)
+//     into a float, complex or string — non-associative, so the result
+//     depends on visit order (integer accumulation is associative and
+//     exempt);
+//   - returned slices and strings — the caller observes element order;
+//   - wire writes: arguments of io.Writer-shaped method calls (Write,
+//     WriteString, ...).
+//
+// The sanctioned pattern is sort-then-range: collecting the keys into a
+// slice and handing it to a sorting call — the sort/slices packages, or
+// any function whose name starts with "sort"/"Sort" — sanitizes that
+// slice, and the search does not propagate order-dependence out of a
+// sanitized value. Plain map writes and integer aggregation are not
+// sinks (building another map or counting entries is order-independent).
+// The analysis is function-scoped by design: whole-module propagation
+// through shared struct-field nodes turns one ordered value into
+// module-wide noise, while the real bug — range a map, fold or emit in
+// visit order — is local to the function that ranges.
+type MapOrder struct{}
+
+func (MapOrder) Name() string { return "maporder" }
+
+func (MapOrder) Doc() string {
+	return "map iteration order must not flow into aggregation, returned slices/strings, or wire writes; collect the keys and sort them first (sort-then-range)"
+}
+
+// Check analyzes a single package as a one-package module (unit-fixture
+// harness); whole-module runs go through CheckModule.
+func (m MapOrder) Check(pkg *Package) []Diagnostic {
+	return m.CheckModule(NewModule([]*Package{pkg}))
+}
+
+// CheckModule analyzes every function body independently: flow graph,
+// map-range roots, order-observable sinks, sort sanitizers, BFS.
+func (m MapOrder) CheckModule(mod *Module) []Diagnostic {
+	var out []Diagnostic
+	cfg, _ := TaintConfig{}.resolve(mod) // empty config: generic flow edges only
+	for _, fn := range mod.Funcs() {
+		fb := mod.Body(fn)
+		g := newTaintGraph(mod, cfg)
+		g.walkNode(fb.Pkg, fb.Decl)
+		m.seedFunc(g, fb)
+		if len(g.roots) == 0 || len(g.sinks) == 0 {
+			continue
+		}
+		for _, leak := range g.findLeaks() {
+			out = append(out, Diagnostic{
+				Analyzer: "maporder",
+				Pos:      leak.sink.pos,
+				Message: fmt.Sprintf("map iteration order flows into %s (%d-hop path below): %s; collect the keys, sort them, then range over the sorted slice",
+					leak.sink.desc, len(leak.hops), leak.source),
+				Path: leak.hops,
+			})
+		}
+	}
+	return out
+}
+
+// seedFunc adds one function's roots (map-range bindings), sinks
+// (order-observable uses) and sanitized nodes (sorted slices) to its
+// flow graph.
+func (m MapOrder) seedFunc(g *taintGraph, fb *FuncBody) {
+	pkg := fb.Pkg
+	inspectWithStack(fb.Decl, func(n ast.Node, stack []ast.Node) {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			t := exprType(pkg, s.X)
+			if t == nil {
+				return
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return
+			}
+			desc := "iteration order of range over map " + exprText(s.X)
+			for _, lhs := range []ast.Expr{s.Key, s.Value} {
+				if lhs == nil {
+					continue
+				}
+				for _, node := range g.writeTargets(pkg, lhs) {
+					g.addRoot(node, desc)
+				}
+			}
+		case *ast.AssignStmt:
+			m.seedAssign(g, pkg, s)
+		case *ast.ReturnStmt:
+			m.seedReturn(g, pkg, s, stack)
+		case *ast.CallExpr:
+			m.seedCall(g, pkg, s)
+		}
+	})
+}
+
+// seedAssign registers non-associative accumulation sinks: compound
+// assignment into floats, complex numbers or strings.
+func (m MapOrder) seedAssign(g *taintGraph, pkg *Package, s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return
+	}
+	t := exprType(pkg, s.Lhs[0])
+	if t == nil {
+		return
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&(types.IsFloat|types.IsComplex|types.IsString) == 0 {
+		return
+	}
+	pos := pkg.Fset.Position(s.TokPos)
+	sink := g.newSink(pos, "order-dependent accumulation into "+exprText(s.Lhs[0]))
+	g.flowInto(pkg, []taintNode{sink}, g.refs(pkg, s.Rhs[0]), pos,
+		"accumulated into "+exprText(s.Lhs[0])+" ("+s.Tok.String()+")")
+}
+
+// seedReturn registers returned slices and strings as sinks: the caller
+// observes the element/character order the map range produced.
+func (m MapOrder) seedReturn(g *taintGraph, pkg *Package, s *ast.ReturnStmt, stack []ast.Node) {
+	fn, _ := enclosingFunc(pkg, stack)
+	where := ""
+	if fn != nil {
+		where = " from " + fn.Name()
+	}
+	for _, res := range s.Results {
+		t := exprType(pkg, res)
+		if t == nil {
+			continue
+		}
+		ordered := false
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			ordered = true
+		case *types.Basic:
+			ordered = u.Info()&types.IsString != 0
+		}
+		if !ordered {
+			continue
+		}
+		pos := pkg.Fset.Position(s.Return)
+		sink := g.newSink(pos, "returned "+typeShape(t)+where)
+		g.flowInto(pkg, []taintNode{sink}, g.refs(pkg, res), pos, "returned"+where)
+	}
+}
+
+func typeShape(t types.Type) string {
+	if _, ok := t.Underlying().(*types.Slice); ok {
+		return "slice"
+	}
+	return "string"
+}
+
+// seedCall registers sorting calls as sanitizers of their slice argument
+// and io.Writer-shaped method calls as wire sinks.
+func (m MapOrder) seedCall(g *taintGraph, pkg *Package, call *ast.CallExpr) {
+	callee, _ := g.mod.StaticCallee(pkg, call)
+	if callee == nil {
+		return
+	}
+	if isSortingCall(callee) && len(call.Args) > 0 {
+		for _, node := range g.refs(pkg, call.Args[0]) {
+			g.sanitized[node] = true
+		}
+		return
+	}
+	if isWriteMethod(callee) && g.mod.Body(callee) == nil {
+		pos := pkg.Fset.Position(call.Lparen)
+		sink := g.newSink(pos, "wire write via "+callee.Name())
+		for _, arg := range call.Args {
+			g.flowInto(pkg, []taintNode{sink}, g.refs(pkg, arg), pos, "written via "+callee.Name())
+		}
+	}
+}
+
+// isSortingCall recognizes the sanctioned sorters: anything in the sort
+// or slices packages, plus in-module helpers that announce themselves by
+// a sort/Sort name prefix (e.g. sortDiagnostics, SortedStates).
+func isSortingCall(callee *types.Func) bool {
+	if p := callee.Pkg(); p != nil && (p.Path() == "sort" || p.Path() == "slices") {
+		return true
+	}
+	name := callee.Name()
+	return len(name) >= 4 && (name[:4] == "sort" || name[:4] == "Sort")
+}

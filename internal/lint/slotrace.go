@@ -1,0 +1,347 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SlotRace enforces the own-slot discipline of the deterministic worker
+// pool (par.ForEach): a task closure runs concurrently with its siblings,
+// so it may only write state owned by its index — an element of a
+// pre-sized slice selected by the task parameter, or state local to the
+// closure body. The analyzer checks every function literal passed as the
+// task of a configured fan-out function:
+//
+//   - a direct write (assignment, ++/--, copy/append/delete) whose target
+//     is captured state not indexed by the task parameter is a finding;
+//   - a call to a function whose interprocedural write-effect summary
+//     says it writes through a receiver, parameter or package-level
+//     variable is a finding when the corresponding argument expression is
+//     captured shared state (own-slot receivers like links[i] are fine);
+//   - interface calls check every in-module implementation.
+//
+// Dynamic calls through function values are assumed read-only: the
+// dominant idiom in this repo binds per-variant closures before the
+// fan-out and dispatches through a local variable, and those closures are
+// themselves checked wherever they are literal tasks. Reads of shared
+// state are always allowed — tasks share immutable inputs by design.
+//
+// Findings carry the write-effect hop chain into the callee, mirroring
+// privacytaint's paths.
+type SlotRace struct {
+	// ForEach lists the fan-out functions (types.Func.FullName form) whose
+	// final func(i int) error argument is an own-slot task. DefaultSuite
+	// installs fedpower/internal/par.ForEach.
+	ForEach []string
+}
+
+// DefaultSlotRaceConfig names the repo's single fan-out point.
+func DefaultSlotRaceConfig() []string {
+	return []string{"fedpower/internal/par.ForEach"}
+}
+
+func (SlotRace) Name() string { return "slotrace" }
+
+func (SlotRace) Doc() string {
+	return "closures passed to par.ForEach may only write through their own task index: writes to captured shared state (directly or via a callee's write-effect summary) break the deterministic pool contract"
+}
+
+// Check analyzes a single package as a one-package module (unit-fixture
+// harness); whole-module runs go through CheckModule.
+func (s SlotRace) Check(pkg *Package) []Diagnostic {
+	return s.CheckModule(NewModule([]*Package{pkg}))
+}
+
+// CheckModule finds every task literal passed to a configured fan-out
+// function and checks its writes against the own-slot discipline.
+func (s SlotRace) CheckModule(mod *Module) []Diagnostic {
+	fanout := make(map[*types.Func]bool)
+	funcsByName := make(map[string]*types.Func)
+	for fn := range mod.funcs {
+		funcsByName[fn.FullName()] = fn
+	}
+	var unresolved []string
+	for _, spec := range s.ForEach {
+		if fn, ok := funcsByName[spec]; ok {
+			fanout[fn] = true
+		} else {
+			unresolved = append(unresolved, spec)
+		}
+	}
+	var out []Diagnostic
+	// Mirroring privacytaint: an unresolved spec silently disables the
+	// analysis, so it is a finding — except on partial modules (unit
+	// fixtures) where foreign specs legitimately cannot resolve.
+	if len(mod.Pkgs) > 1 {
+		sort.Strings(unresolved)
+		for _, spec := range unresolved {
+			out = append(out, Diagnostic{
+				Analyzer: "slotrace",
+				Pos:      modulePos(mod),
+				Message:  fmt.Sprintf("config spec %q matches nothing in the module; the fan-out point it names no longer exists", spec),
+			})
+		}
+	}
+	if len(fanout) == 0 {
+		return out
+	}
+	eng := newEffectEngine(mod)
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				callee, iface := mod.StaticCallee(pkg, call)
+				if callee == nil || iface || !fanout[callee] {
+					return true
+				}
+				lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				out = append(out, checkTask(eng, pkg, lit)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// slotStatus classifies what an expression's memory belongs to, from the
+// perspective of one task closure.
+type slotStatus int
+
+const (
+	statusLocal   slotStatus = iota // declared inside the closure
+	statusOwnSlot                   // shared, but selected by the task index
+	statusShared                    // captured or package-level, not indexed
+)
+
+// checkTask analyzes one task literal. The first parameter of the literal
+// is the task index; writes must resolve to statusLocal or statusOwnSlot.
+func checkTask(eng *effectEngine, pkg *Package, lit *ast.FuncLit) []Diagnostic {
+	if lit.Type.Params == nil || lit.Type.Params.NumFields() == 0 {
+		return nil
+	}
+	first := lit.Type.Params.List[0]
+	if len(first.Names) == 0 {
+		return nil // index parameter unnamed: the closure cannot write anything own-slot
+	}
+	param := pkg.Info.Defs[first.Names[0]]
+	if param == nil {
+		return nil
+	}
+	c := &taskChecker{eng: eng, pkg: pkg, lit: lit, param: param}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				c.checkWrite(lhs, pkg.Fset.Position(s.TokPos), nil)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(s.X, pkg.Fset.Position(s.TokPos), nil)
+		case *ast.CallExpr:
+			c.checkCall(s)
+		}
+		return true
+	})
+	return c.out
+}
+
+type taskChecker struct {
+	eng   *effectEngine
+	pkg   *Package
+	lit   *ast.FuncLit
+	param types.Object
+	out   []Diagnostic
+}
+
+// status classifies e. An index expression whose index mentions the task
+// parameter is own-slot regardless of what it indexes; otherwise the
+// classification follows the base object: declared inside the literal is
+// local, anything else (captured variable, package-level variable) is
+// shared. For composite expressions (calls) the most severe component
+// status wins.
+func (c *taskChecker) status(e ast.Expr) slotStatus {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pkg.Info.Uses[x]
+		if obj == nil {
+			obj = c.pkg.Info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return statusLocal
+		}
+		if c.declaredInside(v) {
+			return statusLocal
+		}
+		return statusShared
+	case *ast.SelectorExpr:
+		if sel, ok := c.pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return c.status(x.X)
+		}
+		if v, ok := c.pkg.Info.Uses[x.Sel].(*types.Var); ok && !c.declaredInside(v) {
+			return statusShared // qualified package-level variable
+		}
+		return c.status(x.X)
+	case *ast.IndexExpr:
+		if c.mentionsParam(x.Index) {
+			return statusOwnSlot
+		}
+		return c.status(x.X)
+	case *ast.SliceExpr:
+		if c.mentionsParam(x.Low) || c.mentionsParam(x.High) || c.mentionsParam(x.Max) {
+			return statusOwnSlot
+		}
+		return c.status(x.X)
+	case *ast.StarExpr:
+		return c.status(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return c.status(x.X) // a write through &x is a write to x
+		}
+	case *ast.CallExpr:
+		worst := statusLocal
+		consider := func(e ast.Expr) {
+			if s := c.status(e); s > worst {
+				worst = s
+			}
+		}
+		for _, arg := range x.Args {
+			consider(arg)
+		}
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			if s, ok := c.pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				consider(sel.X)
+			}
+		}
+		return worst
+	}
+	return statusLocal
+}
+
+func (c *taskChecker) declaredInside(v *types.Var) bool {
+	return v.Pos() >= c.lit.Pos() && v.Pos() <= c.lit.End()
+}
+
+func (c *taskChecker) mentionsParam(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.pkg.Info.Uses[id] == c.param {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkWrite reports a write whose target is captured shared state. A
+// plain identifier LHS is a rebinding when the variable is closure-local,
+// but writing a captured or package-level variable even by plain
+// assignment mutates shared memory (the closure aliases the variable).
+func (c *taskChecker) checkWrite(lv ast.Expr, pos token.Position, path []Hop) {
+	if c.status(lv) != statusShared {
+		return
+	}
+	c.out = append(c.out, Diagnostic{
+		Analyzer: "slotrace",
+		Pos:      pos,
+		Message: fmt.Sprintf("par.ForEach task writes captured shared state %s not indexed by its task parameter %s; tasks may only write their own slot",
+			exprText(lv), c.param.Name()),
+		Path: path,
+	})
+}
+
+// checkCall applies callee write-effect summaries to the call's receiver
+// and argument expressions.
+func (c *taskChecker) checkCall(call *ast.CallExpr) {
+	pkg := c.pkg
+	pos := pkg.Fset.Position(call.Lparen)
+	switch builtinName(pkg, call) {
+	case "copy", "append", "delete":
+		if len(call.Args) > 0 {
+			c.checkWrite(call.Args[0], pos, nil)
+		}
+		return
+	case "":
+		// Not a builtin.
+	default:
+		return
+	}
+	callee, iface := c.eng.mod.StaticCallee(pkg, call)
+	switch {
+	case callee == nil:
+		// Dynamic call: assumed read-only (see analyzer doc).
+	case iface:
+		for _, impl := range c.eng.mod.Implementations(callee) {
+			c.applyEffects(call, impl, pos)
+		}
+	case c.eng.mod.Body(callee) != nil:
+		c.applyEffects(call, callee, pos)
+	default:
+		// Foreign callee: may write through mutable arguments/receiver.
+		if foreignMayWriteArgs(callee) {
+			for _, arg := range call.Args {
+				if t := exprType(pkg, arg); t != nil && isMutableType(t) {
+					c.checkWrite(arg, pos, []Hop{{Pos: pos, Note: "passed to foreign " + callee.Name() + ", which may write through it"}})
+				}
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				if t := exprType(pkg, sel.X); t != nil && isMutableType(t) {
+					c.checkWrite(sel.X, pos, []Hop{{Pos: pos, Note: "receiver of foreign method " + callee.Name()}})
+				}
+			}
+		}
+	}
+}
+
+func (c *taskChecker) applyEffects(call *ast.CallExpr, callee *types.Func, pos token.Position) {
+	eff := c.eng.effects(callee)
+	// Deterministic target order for reporting.
+	targets := make([]effTarget, 0, len(eff.targets))
+	for t := range eff.targets {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].kind != targets[j].kind {
+			return targets[i].kind < targets[j].kind
+		}
+		return targets[i].idx < targets[j].idx
+	})
+	for _, t := range targets {
+		hops := eff.targets[t]
+		chain := append([]Hop{{Pos: pos, Note: "calls " + callee.FullName()}}, hops...)
+		switch t.kind {
+		case effGlobal:
+			c.out = append(c.out, Diagnostic{
+				Analyzer: "slotrace",
+				Pos:      pos,
+				Message: fmt.Sprintf("par.ForEach task calls %s, whose write-effect summary includes a package-level write; tasks may only write their own slot",
+					callee.FullName()),
+				Path: chain,
+			})
+		case effParam:
+			if t.idx < len(call.Args) {
+				c.checkWrite(call.Args[t.idx], pos, chain)
+			}
+		case effRecv:
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if s, ok := c.pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+					c.checkWrite(sel.X, pos, chain)
+				}
+			}
+		}
+	}
+}

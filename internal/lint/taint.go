@@ -71,6 +71,13 @@ type taintGraph struct {
 	roots []taintNode
 	rootD map[taintNode]string // root -> human description
 	sinks []*sinkSite
+
+	// sanitized marks nodes whose value has passed through a sanctioned
+	// cleansing step (e.g. a collected-keys slice handed to sort.Slice in
+	// the maporder analysis); the BFS does not propagate taint out of a
+	// sanitized node. privacytaint never populates the set — there is no
+	// operation that launders telemetry into non-telemetry.
+	sanitized map[taintNode]bool
 }
 
 // resolvedTaint is a TaintConfig bound to the concrete type-checker objects
@@ -86,10 +93,11 @@ type resolvedTaint struct {
 
 func newTaintGraph(mod *Module, cfg *resolvedTaint) *taintGraph {
 	return &taintGraph{
-		mod:   mod,
-		cfg:   cfg,
-		edges: make(map[taintNode][]taintEdge),
-		rootD: make(map[taintNode]string),
+		mod:       mod,
+		cfg:       cfg,
+		edges:     make(map[taintNode][]taintEdge),
+		rootD:     make(map[taintNode]string),
+		sanitized: make(map[taintNode]bool),
 	}
 }
 
@@ -153,7 +161,14 @@ func (g *taintGraph) build() {
 
 // walkFile adds the flow edges contributed by one source file.
 func (g *taintGraph) walkFile(pkg *Package, file *ast.File) {
-	inspectWithStack(file, func(n ast.Node, stack []ast.Node) {
+	g.walkNode(pkg, file)
+}
+
+// walkNode adds the flow edges contributed by one subtree — a whole file
+// for module-wide analyses (privacytaint), or a single function
+// declaration for function-scoped ones (maporder).
+func (g *taintGraph) walkNode(pkg *Package, root ast.Node) {
+	inspectWithStack(root, func(n ast.Node, stack []ast.Node) {
 		switch s := n.(type) {
 		case *ast.FuncDecl:
 			g.namedResultEdges(pkg, s.Type, s)
@@ -813,6 +828,10 @@ func exprText(e ast.Expr) string {
 		return exprText(x.X) + "[:]"
 	case *ast.StarExpr:
 		return "*" + exprText(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return "&" + exprText(x.X)
+		}
 	}
 	return "expression"
 }
@@ -844,6 +863,9 @@ func (g *taintGraph) findLeaks() []taintFinding {
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
+		if g.sanitized[n] {
+			continue
+		}
 		for _, e := range g.edges[n] {
 			if _, ok := pred[e.to]; ok {
 				continue

@@ -1,0 +1,47 @@
+// Package agg plants the maporder fixture: a float fold and a returned
+// slice fed directly by map iteration order, next to sort-then-range
+// counterparts that must stay silent.
+package agg
+
+import "sort"
+
+// Mean folds a float sum in map visit order — the seeded accumulation
+// violation: float addition is not associative, so the result depends on
+// the order the range visits entries.
+func Mean(samples map[string]float64) float64 {
+	total := 0.0
+	for _, v := range samples {
+		total += v
+	}
+	return total / float64(len(samples))
+}
+
+// Keys returns the map's keys in visit order — the seeded returned-slice
+// violation: the caller observes whatever order the range produced.
+func Keys(samples map[string]float64) []string {
+	out := make([]string, 0, len(samples))
+	for k := range samples {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned pattern: collect, sort, return. The sort
+// call sanitizes the slice, so returning it is order-independent.
+func SortedKeys(samples map[string]float64) []string {
+	out := make([]string, 0, len(samples))
+	for k := range samples {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MeanSorted is the clean fold: range over the sorted keys, not the map.
+func MeanSorted(samples map[string]float64) float64 {
+	total := 0.0
+	for _, k := range SortedKeys(samples) {
+		total += samples[k]
+	}
+	return total / float64(len(samples))
+}

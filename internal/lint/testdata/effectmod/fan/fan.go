@@ -1,0 +1,50 @@
+// Package fan plants the slotrace fixture: ForEach tasks that write
+// captured shared state — directly and through a helper whose write-effect
+// summary carries the write — next to an own-slot counterpart that must
+// stay silent.
+package fan
+
+import "effectmod/par"
+
+// Sum accumulates into a shared counter from inside the task — the seeded
+// direct-write violation: every task writes the same captured variable.
+func Sum(vals []float64) float64 {
+	total := 0.0
+	par.ForEach(4, len(vals), func(i int) error {
+		total += vals[i]
+		return nil
+	})
+	return total
+}
+
+// bump writes through its first parameter; its write-effect summary is how
+// the analyzer sees the hidden write in SumViaHelper.
+func bump(dst *float64, v float64) {
+	*dst += v
+}
+
+// SumViaHelper hides the shared write one call deep — the seeded
+// interprocedural violation.
+func SumViaHelper(vals []float64) float64 {
+	total := 0.0
+	par.ForEach(4, len(vals), func(i int) error {
+		bump(&total, vals[i])
+		return nil
+	})
+	return total
+}
+
+// ScaleOwnSlot is the clean counterpart: each task writes only the element
+// selected by its own index, then the caller folds sequentially.
+func ScaleOwnSlot(vals []float64) float64 {
+	out := make([]float64, len(vals))
+	par.ForEach(4, len(vals), func(i int) error {
+		out[i] = vals[i] * 2
+		return nil
+	})
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}

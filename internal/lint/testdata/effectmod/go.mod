@@ -1,0 +1,3 @@
+module effectmod
+
+go 1.22

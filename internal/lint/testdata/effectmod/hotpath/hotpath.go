@@ -1,0 +1,54 @@
+// Package hotpath plants the allocfree fixture: one annotated root whose
+// proof must fail (an append hidden three calls deep), one clean root that
+// exercises the capacity-guard exemption, a dangling directive, and an
+// ignore directive naming an analyzer that does not exist.
+package hotpath
+
+// scratch is package-level state; the directive below is attached to a var
+// declaration, not a function, so the proof it requests never runs — the
+// analyzer must flag it rather than silently ignore it.
+//
+//fedlint:allocfree
+var scratch []float64
+
+// Accumulate claims to be allocation-free but the claim is false: three
+// calls down, push appends into a slice that may grow.
+//
+//fedlint:allocfree
+func Accumulate(dst []float64, src []float64) []float64 {
+	return level1(dst, src)
+}
+
+func level1(dst, src []float64) []float64 {
+	return level2(dst, src)
+}
+
+func level2(dst, src []float64) []float64 {
+	for _, v := range src {
+		dst = push(dst, v)
+	}
+	return dst
+}
+
+func push(dst []float64, v float64) []float64 {
+	return append(dst, v)
+}
+
+// FillInto is the clean counterpart: the only make sits under a capacity
+// guard, so the steady state allocates nothing and the proof holds.
+//
+//fedlint:allocfree
+func FillInto(dst []float64, src []float64) []float64 {
+	if cap(dst) < len(src) {
+		dst = make([]float64, len(src))
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	return dst
+}
+
+// Guarded exists to host the unknown-analyzer ignore seed.
+func Guarded(x float64) float64 {
+	//fedlint:ignore nosuchanalyzer
+	return x * 2
+}

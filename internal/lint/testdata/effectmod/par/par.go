@@ -1,0 +1,15 @@
+// Package par mirrors the real worker pool's fan-out contract so the
+// slotrace fixture can exercise the own-slot discipline: tasks run
+// conceptually in parallel and may only write state owned by their index.
+package par
+
+// ForEach runs task(0..n-1); the fixture stand-in for the deterministic
+// pool named in the SlotRace config.
+func ForEach(width, n int, task func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := task(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -202,6 +202,8 @@ func (n *Network) Forward(x []float64) []float64 {
 // value is bit-identical to Forward(x)[action] — the same multiply-adds in
 // the same order — and the backward pass never reads the output-layer
 // activations, so the pairing ForwardAction/BackwardScalar is exact.
+//
+//fedlint:allocfree
 func (n *Network) ForwardAction(x []float64, action int) float64 {
 	if len(x) != n.sizes[0] {
 		panic(fmt.Sprintf("nn: ForwardAction input length %d, want %d", len(x), n.sizes[0]))
@@ -249,6 +251,8 @@ func (n *Network) ForwardAction(x []float64, action int) float64 {
 // modify the network parameters. Backward reuses network-owned scratch, so
 // it performs no allocations; like Forward, it is not safe for concurrent
 // use.
+//
+//fedlint:allocfree
 func (n *Network) Backward(gradOut []float64, grad []float64) {
 	nl := len(n.sizes) - 1
 	if len(gradOut) != n.sizes[nl] {
@@ -270,6 +274,8 @@ func (n *Network) Backward(gradOut []float64, grad []float64) {
 // bit-identical to Backward with gradOut[action]=g and zeros elsewhere,
 // because the surviving multiply-adds are the same operations in the same
 // order. Allocation-free, like Backward.
+//
+//fedlint:allocfree
 func (n *Network) BackwardScalar(action int, g float64, grad []float64) {
 	nl := len(n.sizes) - 1
 	if action < 0 || action >= n.sizes[nl] {

@@ -31,6 +31,8 @@ func EncodeParams(params []float64) []byte {
 // on the federated hot path keep one scratch buffer per connection, so the
 // steady-state wire path allocates nothing. Like EncodeParams, its inputs
 // are a privacytaint sink.
+//
+//fedlint:allocfree
 func EncodeParamsInto(dst []byte, params []float64) []byte {
 	need := WireSize(len(params))
 	if cap(dst) < need {
@@ -48,6 +50,8 @@ func EncodeParamsInto(dst []byte, params []float64) []byte {
 // dst grows only when its capacity is insufficient. It is the
 // allocation-free sibling of DecodeParams for callers that reuse one
 // parameter slice per connection.
+//
+//fedlint:allocfree
 func DecodeParamsInto(dst []float64, buf []byte) ([]float64, error) {
 	if len(buf)%4 != 0 {
 		return dst, fmt.Errorf("nn: decode %d bytes: not a whole number of float32 values", len(buf))

@@ -18,9 +18,27 @@
 package par
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
+
+// TaskPanic is the panic value ForEach re-raises on the calling goroutine
+// when a task panicked: the original panic value tagged with the index of
+// the task that raised it. Workers recover task panics so the WaitGroup
+// join can never deadlock on a dead worker; after the pool has joined, the
+// lowest-index panic — the one a sequential run would have hit first — is
+// re-raised on the caller.
+type TaskPanic struct {
+	// Index is the task index passed to the panicking task function.
+	Index int
+	// Value is the original value passed to panic.
+	Value any
+}
+
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("par: task %d panicked: %v", p.Index, p.Value)
+}
 
 // ForEach runs task(i) for every i in [0, n) using up to width concurrent
 // workers and returns the lowest-index error, or nil.
@@ -31,6 +49,12 @@ import (
 // when one fails (tasks must therefore be side-effect-free on failure
 // paths), and the error returned is the one the sequential mode would have
 // returned: the first in index order.
+//
+// A panicking task never strands the pool: workers recover the panic,
+// complete the join barrier, and ForEach re-panics on the caller with a
+// *TaskPanic carrying the task index and the original panic value. When
+// both panics and errors occur, the lowest-index event wins, matching what
+// a sequential run would have surfaced first.
 func ForEach(width, n int, task func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -40,13 +64,14 @@ func ForEach(width, n int, task func(i int) error) error {
 	}
 	if width <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			if err := task(i); err != nil {
+			if err := runTask(task, i, nil); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	errs := make([]error, n)
+	pans := make([]*TaskPanic, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < width; w++ {
@@ -58,15 +83,35 @@ func ForEach(width, n int, task func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = task(i)
+				errs[i] = runTask(task, i, pans)
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	for i := range errs {
+		if pans[i] != nil {
+			panic(pans[i])
+		}
+		if errs[i] != nil {
+			return errs[i]
 		}
 	}
 	return nil
+}
+
+// runTask executes one task, converting a panic into a *TaskPanic. In
+// parallel mode (pans != nil) the panic is parked in the task's own slot so
+// the worker survives to the join barrier; in sequential mode it is
+// re-raised immediately, tagged with the index, matching the parallel
+// contract.
+func runTask(task func(i int) error, i int, pans []*TaskPanic) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if pans == nil {
+				panic(&TaskPanic{Index: i, Value: v})
+			}
+			pans[i] = &TaskPanic{Index: i, Value: v}
+		}
+	}()
+	return task(i)
 }

@@ -65,6 +65,64 @@ func TestForEachSequentialStopsEarly(t *testing.T) {
 	}
 }
 
+// TestForEachPanicPropagates: a panicking task must not strand the join
+// barrier; the panic resurfaces on the caller as a *TaskPanic carrying the
+// task index and original value, at every pool width.
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, width := range []int{1, 2, 8} {
+		func() {
+			defer func() {
+				v := recover()
+				tp, ok := v.(*TaskPanic)
+				if !ok {
+					t.Fatalf("width %d: recovered %T (%v), want *TaskPanic", width, v, v)
+				}
+				if tp.Index != 5 || tp.Value != "kaboom" {
+					t.Fatalf("width %d: got TaskPanic{%d, %v}, want {5, kaboom}", width, tp.Index, tp.Value)
+				}
+				if msg := tp.Error(); msg != "par: task 5 panicked: kaboom" {
+					t.Fatalf("width %d: message %q", width, msg)
+				}
+			}()
+			_ = ForEach(width, 12, func(i int) error {
+				if i == 5 {
+					panic("kaboom")
+				}
+				return nil
+			})
+			t.Fatalf("width %d: ForEach returned instead of panicking", width)
+		}()
+	}
+}
+
+// TestForEachPanicLowestIndexWins: with several panicking tasks, the one a
+// sequential run would have hit first is the one re-raised; panics at a
+// lower index beat errors at a higher one, and every non-panicking task
+// still runs to completion before the pool unwinds.
+func TestForEachPanicLowestIndexWins(t *testing.T) {
+	var ran atomic.Int64
+	defer func() {
+		tp, ok := recover().(*TaskPanic)
+		if !ok || tp.Index != 3 {
+			t.Fatalf("recovered %v, want *TaskPanic at index 3", tp)
+		}
+		if got := ran.Load(); got != 18 {
+			t.Fatalf("%d non-panicking tasks ran, want 18 (join barrier must complete)", got)
+		}
+	}()
+	_ = ForEach(4, 20, func(i int) error {
+		if i == 3 || i == 11 {
+			panic(i)
+		}
+		ran.Add(1)
+		if i == 7 {
+			return errors.New("error after the panic index")
+		}
+		return nil
+	})
+	t.Fatal("ForEach returned instead of panicking")
+}
+
 // TestForEachSlotWritesPublished: writes into index-owned slots must be
 // visible after ForEach returns (the WaitGroup join is the happens-before
 // edge).

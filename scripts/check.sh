@@ -5,7 +5,10 @@
 #   1. go build        — the module compiles
 #   2. go vet          — toolchain static analysis
 #   3. fedlint         — repo-native invariants (determinism, wire safety,
-#                        float tolerance, goroutine discipline; internal/lint)
+#                        float tolerance, goroutine discipline, the privacy
+#                        taint boundary, and the effect proofs: allocfree
+#                        hot paths, order-independent map folds, own-slot
+#                        pool tasks; internal/lint)
 #   4. go test         — tier-1 tests, including the fedlint self-check and
 #                        the wire-format fuzz seed corpus
 #   5. go test -race   — race detector over every package (the federation,
