@@ -43,9 +43,11 @@ race:
 # bit-identically (fault schedules, zero-fault TCP results), the parallel
 # experiment engine must match sequential execution bit-for-bit, and the
 # codec bit-identity tests must reproduce the dense result through the
-# delta codec — in-process and over TCP — twice over.
+# delta codec — in-process and over TCP — twice over, and the hierarchical
+# aggregation trees (randomized in-process topologies and 2-/3-level TCP
+# fleets) must reproduce the flat federation bit-for-bit.
 determinism:
-	go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/...
+	go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/...
 
 # Extended fuzzing of the federation wire format (seed corpus always runs
 # as part of `make test`).
@@ -55,3 +57,4 @@ fuzz:
 	go test -fuzz=FuzzFaultyReadMessage -fuzztime=30s ./internal/fed/
 	go test -fuzz=FuzzDeltaRoundTrip -fuzztime=30s ./internal/fed/
 	go test -fuzz=FuzzQuantRoundTrip -fuzztime=30s ./internal/fed/
+	go test -fuzz=FuzzRelayFrame -fuzztime=30s ./internal/fed/

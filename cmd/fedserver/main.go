@@ -8,6 +8,15 @@
 //	fedserver -addr :7070 -devices 2 -rounds 100
 //	feddevice -server localhost:7070 -apps fft,lu
 //	feddevice -server localhost:7070 -apps ocean,radix
+//
+// With -parent the process runs as an interior aggregator instead — a
+// server to its children and a client to the parent — so a tree topology is
+// one fedserver root plus one fedserver -parent per interior node:
+//
+//	fedserver -addr :7070 -devices 2 -rounds 100
+//	fedserver -addr :7071 -parent localhost:7070 -id 10001 -devices 8
+//	fedserver -addr :7072 -parent localhost:7070 -id 10002 -devices 8
+//	feddevice -server localhost:7071 -apps fft,lu   (×8, and 8 on :7072)
 package main
 
 import (
@@ -38,6 +47,9 @@ func main() {
 	out := flag.String("out", "", "write the final model as comma-separated text to this file instead of stdout")
 	modelPath := flag.String("model", "", "also write the final model in the binary .fpm format (loadable with fedpower.LoadModel)")
 	codecName := flag.String("codec", "dense", "wire codec — dense, delta, quant8 or quant16; devices must use the same")
+	parent := flag.String("parent", "", "run as an interior aggregator relaying to this parent server instead of as the root")
+	parentFallbacks := flag.String("parent-fallbacks", "", "aggregator mode: comma-separated alternate parents tried when -parent stops answering")
+	aggID := flag.Uint("id", 10001, "aggregator mode: this node's client ID on the parent link")
 	flag.Parse()
 
 	codec, err := fedpower.ParseCodec(*codecName)
@@ -45,6 +57,12 @@ func main() {
 		log.Fatal(err)
 	}
 	codec = codec.Seeded(*seed)
+
+	if *parent != "" {
+		runAggregator(*addr, *parent, *parentFallbacks, uint32(*aggID), *devices, codec,
+			*quorum, *roundTimeout, *writeTimeout, *joinTimeout, *out, *modelPath)
+		return
+	}
 
 	table := fedpower.JetsonNanoTable()
 	params := fedpower.DefaultControllerParams(table.Len())
@@ -97,6 +115,62 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("final global model written to %s", *out)
+}
+
+// runAggregator runs the process as an interior tree node: a server to the
+// -devices children below it (devices or further aggregators) and a client
+// to -parent, relaying exact sub-sums upward each round.
+func runAggregator(addr, parent, fallbacks string, id uint32, children int, codec fedpower.Codec,
+	quorum int, roundTimeout, writeTimeout, joinTimeout time.Duration, out, modelPath string) {
+	agg, err := fedpower.NewAggregator(addr, children)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = agg.Close() }()
+	agg.Parent = parent
+	if fallbacks != "" {
+		for _, f := range strings.Split(fallbacks, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				agg.Fallbacks = append(agg.Fallbacks, f)
+			}
+		}
+	}
+	agg.ID = id
+	agg.Uplink = codec
+	agg.Retry = fedpower.Backoff{Attempts: 10, Base: 100 * time.Millisecond, Max: 5 * time.Second}
+	agg.Children.Codec = codec
+	agg.Children.Quorum = quorum
+	agg.Children.RoundTimeout = roundTimeout
+	agg.Children.WriteTimeout = writeTimeout
+	agg.Children.JoinTimeout = joinTimeout
+	agg.Children.OnDrop = func(id uint32, round int, err error) {
+		log.Printf("round %d: dropped child %d: %v", round, id, err)
+	}
+	log.Printf("aggregating %d children on %s for parent %s (codec %s, id %d)",
+		children, agg.Addr(), parent, codec, id)
+
+	final, err := agg.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("relay done: %d B up / %d B down on the parent link, %d reconnects",
+		agg.UplinkBytesSent(), agg.UplinkBytesReceived(), agg.Reconnects())
+
+	if modelPath != "" {
+		if err := fedpower.SaveModel(modelPath, final); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("binary model written to %s", modelPath)
+	}
+	text := formatModel(final)
+	if out == "" {
+		fmt.Println(text)
+		return
+	}
+	if err := os.WriteFile(out, []byte(text+"\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("final global model written to %s", out)
 }
 
 func formatModel(params []float64) string {

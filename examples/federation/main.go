@@ -182,8 +182,8 @@ func device(server, name string, id uint32, seed int64, appNames []string, flaky
 	if flakyWrite > 0 {
 		var writes int32
 		var dials int32
-		part.Dialer = func() (net.Conn, error) {
-			c, err := net.Dial("tcp", server)
+		part.Dialer = func(addr string) (net.Conn, error) {
+			c, err := net.Dial("tcp", addr)
 			if err != nil {
 				return nil, err
 			}

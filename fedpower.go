@@ -220,6 +220,39 @@ func FederatedRunSampled(global []float64, clients []FederatedClient, fraction f
 	return fed.RunSampled(global, clients, fraction, rounds, rng, hook)
 }
 
+// TreeNode describes one node of a hierarchical aggregation topology: its
+// directly attached leaf devices and its child aggregators.
+type TreeNode = fed.TreeNode
+
+// TreeConfig configures FederatedRunTree.
+type TreeConfig = fed.TreeConfig
+
+// Uniform builds a balanced topology from per-level fan-outs: Uniform(4, 8)
+// is four edge aggregators of eight devices each.
+func Uniform(fanouts ...int) *TreeNode { return fed.Uniform(fanouts...) }
+
+// ParseTopology parses an "AxBxC" fan-out spec (the -topology CLI grammar)
+// into a balanced tree.
+func ParseTopology(s string) (*TreeNode, error) { return fed.ParseTopology(s) }
+
+// FederatedRunTree executes an in-process hierarchical federation over the
+// topology's leaf slots. Every aggregation hop is an exact fixed-point sum,
+// so any topology over the same clients — including the flat one — yields
+// bit-identical parameters every round.
+func FederatedRunTree(global []float64, clients []FederatedClient, topo *TreeNode, cfg TreeConfig) error {
+	return fed.RunTree(global, clients, topo, cfg)
+}
+
+// Aggregator is an interior tree node over TCP: a server to its children
+// and a resilient client to its parent, relaying exact sub-sums upward.
+type Aggregator = fed.Aggregator
+
+// NewAggregator listens on addr for the given number of children; wire it
+// to its parent via the Aggregator fields and call Run.
+func NewAggregator(addr string, children int) (*Aggregator, error) {
+	return fed.NewAggregator(addr, children)
+}
+
 // NewServer starts a TCP aggregation server for a fixed client count and
 // round budget.
 func NewServer(addr string, numClients, rounds int) (*Server, error) {
@@ -463,6 +496,21 @@ func DefaultResilienceOptions() ResilienceOptions { return experiment.DefaultRes
 // injection and reports rounds completed, traffic and final accuracy.
 func RunResilience(o ResilienceOptions) (*ResilienceResult, error) {
 	return experiment.RunResilience(o)
+}
+
+// TreeScaleOptions configures the fleet-scale hierarchical TCP scenario.
+type TreeScaleOptions = experiment.TreeScaleOptions
+
+// TreeScaleResult is one topology's capacity measurement.
+type TreeScaleResult = experiment.TreeScaleResult
+
+// DefaultTreeScaleOptions returns the 500-device, 3-level fleet scenario.
+func DefaultTreeScaleOptions() TreeScaleOptions { return experiment.DefaultTreeScaleOptions() }
+
+// RunTreeScale deploys an aggregation tree over localhost TCP and measures
+// round throughput, per-hop traffic and bit-identity to the flat protocol.
+func RunTreeScale(o TreeScaleOptions) (*TreeScaleResult, error) {
+	return experiment.RunTreeScale(o)
 }
 
 // ---------------------------------------------------------------------------

@@ -176,7 +176,7 @@ func RunResilience(o ResilienceOptions) (*ResilienceResult, error) {
 			ID:    uint32(i + 1),
 			Retry: o.Retry,
 			Codec: codec,
-			Dialer: func() (net.Conn, error) {
+			Dialer: func(addr string) (net.Conn, error) {
 				c, err := net.Dial("tcp", addr)
 				if err != nil {
 					return nil, err

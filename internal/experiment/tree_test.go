@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"fedpower/internal/fed"
+)
+
+// fakeClock advances one second per reading, making throughput numbers
+// deterministic without touching the wall clock.
+func fakeClock() Clock {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func TestTreeScaleSmall(t *testing.T) {
+	o := DefaultTreeScaleOptions()
+	o.Topology = "2x3"
+	o.Rounds = 2
+	o.NumParams = 16
+	res, err := RunTreeScaleWithClock(o, fakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Devices != 6 || res.Aggregators != 2 || res.Depth != 2 {
+		t.Errorf("topology = %d devices, %d aggregators, depth %d; want 6, 2, 2",
+			res.Devices, res.Aggregators, res.Depth)
+	}
+	if res.RoundsCompleted != o.Rounds {
+		t.Errorf("completed %d rounds, want %d", res.RoundsCompleted, o.Rounds)
+	}
+	if !res.FlatMatch {
+		t.Error("TCP tree diverged from the flat in-process reference")
+	}
+	if res.LeavesCommitted != 6 {
+		t.Errorf("last round covered %d leaves, want 6", res.LeavesCommitted)
+	}
+	if res.RootBytesSent <= 0 || res.UplinkBytesSent <= 0 {
+		t.Errorf("missing traffic accounting: root sent %d, uplinks sent %d",
+			res.RootBytesSent, res.UplinkBytesSent)
+	}
+	if res.Elapsed != time.Second {
+		t.Errorf("fake-clock elapsed = %v, want 1s", res.Elapsed)
+	}
+	if res.RoundsPerSec != 2 {
+		t.Errorf("rounds/sec = %v, want 2", res.RoundsPerSec)
+	}
+	if res.FinalChecksum == 0 {
+		t.Error("final checksum missing")
+	}
+
+	// Replayability: the same options reproduce the same final bits.
+	res2, err := RunTreeScaleWithClock(o, fakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FinalChecksum != res.FinalChecksum {
+		t.Errorf("rerun checksum %x != %x", res2.FinalChecksum, res.FinalChecksum)
+	}
+}
+
+// TestTreeScaleFleet drives the acceptance-sized fleet: 500 leaf devices
+// through a 3-level TCP tree, bit-identical to the flat reference.
+func TestTreeScaleFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-device fleet in -short mode")
+	}
+	o := DefaultTreeScaleOptions()
+	o.Rounds = 2
+	o.NumParams = 64
+	res, err := RunTreeScaleWithClock(o, fakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Devices != 500 || res.Aggregators != 24 || res.Depth != 3 {
+		t.Errorf("topology = %d devices, %d aggregators, depth %d; want 500, 24, 3",
+			res.Devices, res.Aggregators, res.Depth)
+	}
+	if res.RoundsCompleted != o.Rounds || res.LeavesCommitted != 500 {
+		t.Errorf("completed %d rounds over %d leaves, want %d over 500",
+			res.RoundsCompleted, res.LeavesCommitted, o.Rounds)
+	}
+	if !res.FlatMatch {
+		t.Error("500-device TCP tree diverged from the flat in-process reference")
+	}
+}
+
+func TestTreeScaleValidation(t *testing.T) {
+	for _, mod := range []func(*TreeScaleOptions){
+		func(o *TreeScaleOptions) { o.Topology = "0x4" },
+		func(o *TreeScaleOptions) { o.Rounds = 0 },
+		func(o *TreeScaleOptions) { o.NumParams = 0 },
+		func(o *TreeScaleOptions) { o.RoundTimeout = 0 },
+	} {
+		o := DefaultTreeScaleOptions()
+		mod(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %+v validated", o)
+		}
+	}
+	bad := DefaultTreeScaleOptions()
+	bad.Topology = "bogus"
+	if _, err := RunTreeScale(bad); err == nil {
+		t.Error("RunTreeScale accepted a bogus topology")
+	}
+	if _, err := fed.ParseTopology(DefaultTreeScaleOptions().Topology); err != nil {
+		t.Errorf("default topology failed to parse: %v", err)
+	}
+}

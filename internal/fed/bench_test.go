@@ -9,8 +9,11 @@ package fed
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"io"
 	"testing"
+
+	"fedpower/internal/nn"
 )
 
 // benchCodecs enumerates the wire codecs by flag name.
@@ -91,6 +94,33 @@ func BenchmarkWireDecode(b *testing.B) {
 				if _, err := dec.readMessage(r, &m); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkTreeAggregate measures one interior-node aggregation step at the
+// paper's model size: folding the exact relay sums of N child subtrees and
+// rounding the mean, the per-round cost that bounds a single aggregator's
+// fan-out. Steady state allocates nothing — the accumulator vector and the
+// output model are reused across rounds, as in Server.Serve and RelayRound.
+func BenchmarkTreeAggregate(b *testing.B) {
+	for _, fanout := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("fanout%d", fanout), func(b *testing.B) {
+			params := benchParams()
+			contribs := make([]contribution, fanout)
+			for c := range contribs {
+				sums := make([]nn.Accum, len(params))
+				nn.AddParamsAccum(sums, params)
+				contribs[c] = contribution{sums: sums, leaves: 25}
+			}
+			acc := make([]nn.Accum, len(params))
+			global := make([]float64, len(params))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				total := accumulate(acc, contribs)
+				nn.MeanAccum(global, acc, total)
 			}
 		})
 	}

@@ -2,9 +2,25 @@ package fed
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
+
+	"fedpower/internal/nn"
 )
+
+// RelayClient is the client role of an interior aggregator: instead of
+// training locally it resolves each broadcast round against its own child
+// subtree and answers with the subtree's exact per-parameter sums and leaf
+// population (a relay frame rather than an update frame). The returned sums
+// are only encoded, never retained, so the relay may reuse their storage
+// across rounds. A RelayRound error that is already a *RoundError keeps its
+// phase — a subtree that missed its own quorum is a collect failure, which
+// Participant.Run treats as retryable, not as a fatal local-training error.
+type RelayClient interface {
+	Client
+	RelayRound(round int, global []float64) (sums []nn.Accum, leaves int, err error)
+}
 
 // Conn is a client-side connection to the aggregation server. A device
 // connects once and then participates in every round until the server sends
@@ -131,11 +147,27 @@ func (c *Conn) Participate(client Client) ([]float64, error) {
 			return append([]float64(nil), m.params...), nil
 		case msgModel:
 			c.round = m.round
-			updated, err := client.TrainRound(m.round, m.params)
-			if err != nil {
-				return nil, roundError(m.round, PhaseTrain, fmt.Errorf("local training: %w", err))
+			var reply message
+			if relay, ok := client.(RelayClient); ok {
+				sums, leaves, err := relay.RelayRound(m.round, m.params)
+				if err != nil {
+					var re *RoundError
+					if errors.As(err, &re) {
+						// The subtree's own round failed (e.g. below quorum):
+						// keep the phase so the caller retries next round.
+						return nil, err
+					}
+					return nil, roundError(m.round, PhaseTrain, fmt.Errorf("relay round: %w", err))
+				}
+				reply = message{kind: msgRelay, round: m.round, sums: sums, leaves: leaves}
+			} else {
+				updated, err := client.TrainRound(m.round, m.params)
+				if err != nil {
+					return nil, roundError(m.round, PhaseTrain, fmt.Errorf("local training: %w", err))
+				}
+				reply = message{kind: msgUpdate, round: m.round, params: updated}
 			}
-			sent, err := c.tx.writeMessage(c.w, message{kind: msgUpdate, round: m.round, params: updated})
+			sent, err := c.tx.writeMessage(c.w, reply)
 			c.bytesSent += int64(sent)
 			if err != nil {
 				return nil, roundError(m.round, PhaseSend, err)

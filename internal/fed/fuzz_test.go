@@ -11,9 +11,12 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math"
+	"net"
 	"testing"
 
+	"fedpower/internal/faultnet"
 	"fedpower/internal/nn"
 )
 
@@ -136,10 +139,29 @@ func FuzzFaultyReadMessage(f *testing.F) {
 		if len(wire) < headerSize {
 			t.Fatalf("decoder succeeded on a %d-byte stream, shorter than the header", len(wire))
 		}
-		if m.kind != msgModel && m.kind != msgUpdate && m.kind != msgDone && m.kind != msgJoin {
+		if m.kind != msgModel && m.kind != msgUpdate && m.kind != msgDone && m.kind != msgJoin && m.kind != msgRelay {
 			t.Fatalf("decoder accepted unknown message kind %d", m.kind)
 		}
 		count := int(binary.LittleEndian.Uint32(wire[5:]))
+		if m.kind == msgRelay {
+			// A corrupted kind byte can turn a frame into a relay; success
+			// then requires a complete, consistent accumulator block.
+			if len(m.sums) != count {
+				t.Fatalf("decoder returned %d sums for a relay header declaring %d", len(m.sums), count)
+			}
+			if m.leaves < 1 {
+				t.Fatalf("decoder accepted a relay frame with leaf count %d", m.leaves)
+			}
+			if len(wire) < headerSize+8 {
+				t.Fatalf("decoder returned a relay frame from %d bytes, shorter than its preamble", len(wire))
+			}
+			blen := int(binary.LittleEndian.Uint32(wire[headerSize+4:]))
+			if len(wire) < headerSize+8+blen {
+				t.Fatalf("decoder returned a relay frame from %d bytes, needs %d — partial sub-sum passed as success",
+					len(wire), headerSize+8+blen)
+			}
+			return
+		}
 		if m.kind == msgJoin {
 			// A join's count field carries the codec wire ID, not a
 			// parameter count; the frame is payload-free by definition.
@@ -171,16 +193,20 @@ func FuzzReadMessage(f *testing.F) {
 	f.Add([]byte{2, 1, 0, 0, 0, 1, 0, 0, 0})                   // update, 1 param, truncated payload
 	f.Add([]byte{3, 0, 0, 0, 0, 255, 255, 255, 255})           // done, absurd count
 	f.Add(append([]byte{1, 1, 0, 0, 0, 1, 0, 0, 0}, 0, 0, 128, 63)) // complete 1-param model
+	f.Add([]byte{5, 1, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 10, 0, 0, 0, 1, 17, 3, 0, 0, 0, 0, 0, 0, 0}) // relay, 1 sum, 2 leaves
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := readMessage(bufio.NewReader(bytes.NewReader(data)))
 		if err != nil {
 			return // malformed input must error, and did
 		}
-		if m.kind != msgModel && m.kind != msgUpdate && m.kind != msgDone && m.kind != msgJoin {
+		if m.kind != msgModel && m.kind != msgUpdate && m.kind != msgDone && m.kind != msgJoin && m.kind != msgRelay {
 			t.Fatalf("decoder accepted unknown message kind %d", m.kind)
 		}
 		if len(m.params) > maxWireParams {
 			t.Fatalf("decoder exceeded the parameter bound: %d params", len(m.params))
+		}
+		if len(m.sums) > maxWireParams {
+			t.Fatalf("decoder exceeded the accumulator bound: %d sums", len(m.sums))
 		}
 		// A successfully decoded message must itself round-trip.
 		var buf bytes.Buffer
@@ -188,12 +214,127 @@ func FuzzReadMessage(f *testing.F) {
 		if _, err := writeMessage(w, m); err != nil {
 			t.Fatalf("re-encode of decoded message: %v", err)
 		}
+		if m.kind == msgRelay {
+			// The input block may be non-canonical (padded spans decode too),
+			// so sizes need not match — but the re-encoded frame must decode
+			// back to the same accumulators and leaf count.
+			m2, err := readMessage(bufio.NewReader(bytes.NewReader(buf.Bytes())))
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded relay frame: %v", err)
+			}
+			if m2.leaves != m.leaves || len(m2.sums) != len(m.sums) {
+				t.Fatalf("relay round-trip changed shape: leaves %d->%d, sums %d->%d",
+					m.leaves, m2.leaves, len(m.sums), len(m2.sums))
+			}
+			for i := range m.sums {
+				if m.sums[i] != m2.sums[i] {
+					t.Fatalf("relay round-trip changed accumulator %d", i)
+				}
+			}
+			return
+		}
 		want := headerSize + nn.WireSize(len(m.params))
 		if m.kind == msgJoin {
 			want = headerSize // joins are payload-free; count carries the codec ID
 		}
 		if buf.Len() != want {
 			t.Fatalf("re-encoded size %d, want %d", buf.Len(), want)
+		}
+	})
+}
+
+// relayFrameBytes encodes one well-formed relay frame for seeding the relay
+// fuzzer.
+func relayFrameBytes(tb testing.TB, numParams, leaves int) []byte {
+	sums := make([]nn.Accum, numParams)
+	for i := range sums {
+		sums[i].Add(float64(i) + 0.5)
+		sums[i].Add(-1.0 / float64(i+3))
+	}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if _, err := writeMessage(w, message{kind: msgRelay, round: 1, leaves: leaves, sums: sums}); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRelayFrame drives an interior aggregator's collect path with
+// truncated and corrupted child relay frames, layered under faultnet's
+// seeded connection faults. Whatever arrives, the aggregator must never
+// panic, never accept a partial sub-sum as a contribution (every accepted
+// relay carries exactly the declared accumulator count and a positive leaf
+// population), and on failure must surface a typed *RoundError carrying the
+// child hop's ID.
+func FuzzRelayFrame(f *testing.F) {
+	f.Add(relayFrameBytes(f, 3, 4), uint16(9999), uint16(0), uint8(0), int64(0))
+	f.Add(relayFrameBytes(f, 3, 4), uint16(12), uint16(0), uint8(0), int64(0))   // cut inside preamble
+	f.Add(relayFrameBytes(f, 3, 4), uint16(22), uint16(0), uint8(0), int64(0))   // cut inside block
+	f.Add(relayFrameBytes(f, 3, 4), uint16(9999), uint16(0), uint8(7), int64(0)) // corrupt kind byte
+	f.Add(relayFrameBytes(f, 3, 1), uint16(9999), uint16(9), uint8(255), int64(1))
+	f.Add(relayFrameBytes(f, 3, 2), uint16(9999), uint16(13), uint8(128), int64(2)) // corrupt block length
+	f.Add([]byte{5, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 10, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0}, uint16(9999), uint16(0), uint8(0), int64(3))
+	f.Fuzz(func(t *testing.T, frame []byte, cut uint16, xorIdx uint16, xorMask uint8, seed int64) {
+		const numParams = 3
+		if xorMask != 0 && len(frame) > 0 {
+			frame[int(xorIdx)%len(frame)] ^= xorMask
+		}
+		if int(cut) < len(frame) {
+			frame = frame[:cut]
+		}
+
+		child, parent := net.Pipe()
+		defer child.Close()
+		defer parent.Close()
+		inj := faultnet.NewInjector(seed, faultnet.Config{DropRate: 0.05, TruncateRate: 0.15})
+		go func() {
+			_, _ = child.Write(frame)
+			_ = child.Close()
+		}()
+
+		s := &Server{}
+		wrapped := inj.Wrap(parent)
+		sc := &serverConn{
+			conn: wrapped,
+			r:    bufio.NewReader(wrapped),
+			w:    bufio.NewWriter(wrapped),
+			id:   7,
+			tx:   newCodecState(Codec{}, streamDown+14),
+			rx:   newCodecState(Codec{}, streamUp+14),
+		}
+		_, contribs, firstErr := s.collect([]*serverConn{sc}, 1, numParams)
+		if firstErr != nil {
+			if len(contribs) != 0 {
+				t.Fatalf("collect surfaced an error and %d contributions", len(contribs))
+			}
+			var re *RoundError
+			if !errors.As(firstErr, &re) {
+				t.Fatalf("collect error is %T, want *RoundError: %v", firstErr, firstErr)
+			}
+			if re.Client != 7 {
+				t.Fatalf("RoundError names client %d, want the child hop 7", re.Client)
+			}
+			if re.Phase != PhaseCollect {
+				t.Fatalf("RoundError phase %v, want %v", re.Phase, PhaseCollect)
+			}
+			return
+		}
+		// The collect claimed success: the contribution must be whole.
+		if len(contribs) != 1 {
+			t.Fatalf("no error but %d contributions", len(contribs))
+		}
+		c := contribs[0]
+		switch {
+		case c.sums != nil:
+			if len(c.sums) != numParams || c.leaves < 1 {
+				t.Fatalf("partial relay accepted: %d sums, %d leaves", len(c.sums), c.leaves)
+			}
+		case c.params != nil:
+			if len(c.params) != numParams || c.leaves != 1 {
+				t.Fatalf("partial update accepted: %d params, %d leaves", len(c.params), c.leaves)
+			}
+		default:
+			t.Fatal("empty contribution accepted")
 		}
 	})
 }

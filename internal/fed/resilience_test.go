@@ -217,8 +217,8 @@ func TestTCPDroppedClientRejoinsNextBroadcast(t *testing.T) {
 			Base:     10 * time.Millisecond,
 			Jitter:   rand.New(rand.NewSource(1)),
 		},
-		Dialer: func() (net.Conn, error) {
-			c, err := net.Dial("tcp", srv.Addr())
+		Dialer: func(addr string) (net.Conn, error) {
+			c, err := net.Dial("tcp", addr)
 			if err != nil {
 				return nil, err
 			}
@@ -304,8 +304,8 @@ func TestTCPFederationUnderFaultnet(t *testing.T) {
 				Max:      50 * time.Millisecond,
 				Jitter:   rand.New(rand.NewSource(int64(i))),
 			},
-			Dialer: func() (net.Conn, error) {
-				c, err := net.Dial("tcp", srv.Addr())
+			Dialer: func(addr string) (net.Conn, error) {
+				c, err := net.Dial("tcp", addr)
 				if err != nil {
 					return nil, err
 				}

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"net"
 	"time"
+
+	"fedpower/internal/nn"
 )
 
 // Defaults for a zero-valued Backoff.
@@ -110,10 +112,17 @@ type Participant struct {
 	ID uint32
 	// Retry is the reconnect policy; its zero value retries 3 times.
 	Retry Backoff
+	// Fallbacks lists alternative server addresses tried in rotation when
+	// dialing the current address fails — the orphan path of a hierarchical
+	// fleet: a device whose edge aggregator died redials it, then falls
+	// back to the next configured parent and rejoins the federation there.
+	// Rotation is sticky: once an address accepts, it stays current until
+	// it fails again.
+	Fallbacks []string
 	// Dialer optionally replaces the raw transport dial — the seam the
 	// fault-injection harness uses to hand back a faulty connection. nil
-	// means net.Dial("tcp", Addr).
-	Dialer func() (net.Conn, error)
+	// means net.Dial("tcp", addr), where addr walks Addr and Fallbacks.
+	Dialer func(addr string) (net.Conn, error)
 	// Codec selects the parameter encoding (codec.go); it must match the
 	// server's, and the zero value is the dense default. Every reconnect
 	// starts from fresh codec state on both sides, so rejoining under a
@@ -124,6 +133,7 @@ type Participant struct {
 	lastRound  int
 	bytesSent  int64
 	bytesRecv  int64
+	addrIdx    int // current position in the Addr+Fallbacks rotation
 }
 
 // Reconnects returns how many times Run re-established the connection
@@ -142,14 +152,30 @@ func (p *Participant) BytesSent() int64 { return p.bytesSent }
 // connections.
 func (p *Participant) BytesReceived() int64 { return p.bytesRecv }
 
-// dial establishes one identified connection, without retry.
-func (p *Participant) dial() (*Conn, error) {
-	if p.Dialer == nil {
-		return DialCodec(p.Addr, p.ID, p.Codec)
+// addr returns the rotation's current server address.
+func (p *Participant) addr() string {
+	if p.addrIdx == 0 || p.addrIdx > len(p.Fallbacks) {
+		return p.Addr
 	}
-	raw, err := p.Dialer()
+	return p.Fallbacks[p.addrIdx-1]
+}
+
+// rotate advances to the next address in the Addr+Fallbacks ring after a
+// dial failure.
+func (p *Participant) rotate() {
+	p.addrIdx = (p.addrIdx + 1) % (1 + len(p.Fallbacks))
+}
+
+// dial establishes one identified connection to the rotation's current
+// address, without retry.
+func (p *Participant) dial() (*Conn, error) {
+	addr := p.addr()
+	if p.Dialer == nil {
+		return DialCodec(addr, p.ID, p.Codec)
+	}
+	raw, err := p.Dialer(addr)
 	if err != nil {
-		return nil, fmt.Errorf("fed: dial %s: %w", p.Addr, err)
+		return nil, fmt.Errorf("fed: dial %s: %w", addr, err)
 	}
 	c, err := NewConnCodec(raw, p.ID, p.Codec)
 	if err != nil {
@@ -159,11 +185,33 @@ func (p *Participant) dial() (*Conn, error) {
 	return c, nil
 }
 
+// relayProgress threads the failure-budget reset through a RelayClient
+// without demoting it: wrapping an aggregator in a plain ClientFunc would
+// hide its RelayRound method from Conn.Participate and silently turn an
+// interior node into a training leaf.
+type relayProgress struct {
+	relay RelayClient
+	note  func(round int)
+}
+
+func (rp relayProgress) TrainRound(round int, global []float64) ([]float64, error) {
+	rp.note(round)
+	return rp.relay.TrainRound(round, global)
+}
+
+func (rp relayProgress) RelayRound(round int, global []float64) ([]nn.Accum, int, error) {
+	rp.note(round)
+	return rp.relay.RelayRound(round, global)
+}
+
 // Run participates until the server delivers the final model, a local
 // training error occurs, or Retry.Attempts consecutive transport failures
-// exhaust the policy. Progress resets the failure budget: every received
-// broadcast proves the server is alive, so only back-to-back failures
-// count against Attempts.
+// exhaust the policy. Progress resets the failure budget: a successful
+// re-join (the dial and join frame going through) and every received
+// broadcast both prove the server is alive, so only back-to-back failures
+// count against Attempts and a device that rejoins between broadcasts
+// starts its next redial schedule from the base delay, not from where the
+// old schedule left off.
 func (p *Participant) Run(client Client) ([]float64, error) {
 	failures := 0
 	var lastErr error
@@ -178,18 +226,29 @@ func (p *Participant) Run(client Client) ([]float64, error) {
 
 		conn, err := p.dial()
 		if err != nil {
+			// The current parent is unreachable: count the failure and move
+			// to the next address in the rotation (a no-op without
+			// fallbacks).
 			failures++
 			lastErr = err
+			p.rotate()
 			continue
 		}
+		// Successful re-join acknowledgment: the transport accepted the join
+		// frame, so the schedule restarts from the base delay.
+		failures = 0
 
-		// Any received broadcast is progress: reset the failure budget and
-		// remember how far training got.
-		progress := ClientFunc(func(round int, global []float64) ([]float64, error) {
+		note := func(round int) {
 			failures = 0
 			p.lastRound = round
+		}
+		var progress Client = ClientFunc(func(round int, global []float64) ([]float64, error) {
+			note(round)
 			return client.TrainRound(round, global)
 		})
+		if relay, ok := client.(RelayClient); ok {
+			progress = relayProgress{relay: relay, note: note}
+		}
 		final, err := conn.Participate(progress)
 		p.bytesSent += conn.BytesSent()
 		p.bytesRecv += conn.BytesReceived()

@@ -1,0 +1,115 @@
+package fed
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestParticipantBackoffResetOnRejoin pins the redial schedule under a fake
+// clock: a successful re-join acknowledgment (the dial and join frame going
+// through) must reset the failure budget just like a received broadcast
+// does, so a device that reconnects between broadcasts and then fails again
+// restarts its backoff from the base delay instead of resuming an inflated
+// schedule.
+func TestParticipantBackoffResetOnRejoin(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Scripted server: the first accepted connection is joined and then
+	// slammed shut before any broadcast (a rejoin without progress); the
+	// second delivers the final model.
+	go func() {
+		c1, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = readMessage(bufio.NewReader(c1)) // join
+		_ = c1.Close()
+
+		c2, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = readMessage(bufio.NewReader(c2)) // join
+		_, _ = writeMessage(bufio.NewWriter(c2), message{kind: msgDone, round: 1, params: []float64{42}})
+		_ = c2.Close()
+	}()
+
+	const base = 10 * time.Millisecond
+	var sleeps []time.Duration
+	dials := 0
+	p := &Participant{
+		Addr: ln.Addr().String(),
+		ID:   9,
+		Retry: Backoff{
+			Attempts: 10,
+			Base:     base,
+			Sleep:    func(d time.Duration) { sleeps = append(sleeps, d) },
+		},
+		Dialer: func(addr string) (net.Conn, error) {
+			dials++
+			switch dials {
+			case 1, 2, 4, 5:
+				return nil, errors.New("injected dial failure")
+			}
+			return net.Dial("tcp", addr)
+		},
+	}
+
+	final, err := p.Run(ClientFunc(func(round int, global []float64) ([]float64, error) {
+		t.Error("trainer ran; the scripted server never broadcasts")
+		return global, nil
+	}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(final) != 1 || final[0] != 42 {
+		t.Fatalf("final = %v, want [42]", final)
+	}
+
+	// Two dial failures climb the schedule; the successful join on dial 3
+	// resets it, so the post-disconnect redials climb from base again. An
+	// un-reset budget would have continued 4·base, 8·base, 16·base — and the
+	// pre-fix behaviour (reset only on broadcast) reproduces exactly that,
+	// since the first connection dies before any broadcast arrives.
+	want := []time.Duration{base, 2 * base, base, 2 * base, 4 * base}
+	if !reflect.DeepEqual(sleeps, want) {
+		t.Fatalf("redial schedule %v, want %v", sleeps, want)
+	}
+	if p.Reconnects() != 1 {
+		t.Errorf("reconnects = %d, want 1", p.Reconnects())
+	}
+}
+
+// TestParticipantFallbackRotation pins the address rotation: when the
+// primary refuses connections, the participant moves to the next fallback
+// and sticks with whichever address accepted.
+func TestParticipantFallbackRotation(t *testing.T) {
+	var dialed []string
+	p := &Participant{
+		Addr:      "primary:1",
+		Fallbacks: []string{"fallback:1", "fallback:2"},
+		Retry: Backoff{
+			Attempts: 4,
+			Sleep:    func(time.Duration) {},
+		},
+		Dialer: func(addr string) (net.Conn, error) {
+			dialed = append(dialed, addr)
+			return nil, errors.New("refused")
+		},
+	}
+	if _, err := p.Run(ClientFunc(func(int, []float64) ([]float64, error) { return nil, nil })); err == nil {
+		t.Fatal("Run succeeded with every address refusing")
+	}
+	want := []string{"primary:1", "fallback:1", "fallback:2", "primary:1"}
+	if !reflect.DeepEqual(dialed, want) {
+		t.Fatalf("dial order %v, want %v", dialed, want)
+	}
+}

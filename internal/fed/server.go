@@ -66,6 +66,7 @@ type Server struct {
 	bytesRecv int64
 	drops     int64
 	rejoins   int64
+	leaves    int64
 	acceptErr error
 }
 
@@ -125,6 +126,16 @@ func (s *Server) Rejoins() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.rejoins
+}
+
+// Leaves returns the leaf-device count of the last committed round: the
+// number of actual devices whose updates reached this server, directly or
+// through relaying aggregators. In a flat federation it equals the surviving
+// client count; in a tree it is the surviving subtree population.
+func (s *Server) Leaves() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leaves
 }
 
 // now returns the injected clock's reading.
@@ -237,6 +248,101 @@ func sortPool(pool []*serverConn) {
 	})
 }
 
+// session is one Serve invocation's connection state: the accept loop's
+// join channel and the live client pool. Server.Serve and fed.Aggregator
+// both run their child-facing protocol through it — an aggregator is a
+// Server session whose round results flow upward instead of into a mean.
+type session struct {
+	s     *Server
+	joins chan *serverConn
+	pool  []*serverConn
+}
+
+// startSession spawns the accept loop and returns the session handle. The
+// caller must call close exactly once when the protocol is decided.
+func (s *Server) startSession() *session {
+	ses := &session{s: s, joins: make(chan *serverConn, s.numClients)}
+	go s.acceptLoop(ses.joins)
+	return ses
+}
+
+// close releases all connection state: it closes the listener to stop the
+// accept loop, drains the join channel, and closes every pooled connection.
+// The protocol outcome is already decided, so close errors carry no signal.
+func (ses *session) close() {
+	_ = ses.s.ln.Close()
+	for sc := range ses.joins {
+		_ = sc.conn.Close()
+	}
+	for _, sc := range ses.pool {
+		_ = sc.conn.Close()
+	}
+}
+
+// waitCohort blocks until the initial cohort is fully joined — the paper's
+// setting, all devices present at the start.
+func (ses *session) waitCohort() error {
+	for len(ses.pool) < ses.s.numClients {
+		sc, ok := <-ses.joins
+		if !ok {
+			return fmt.Errorf("fed: accept: %w", ses.s.takeAcceptErr())
+		}
+		ses.pool = append(ses.pool, sc)
+	}
+	sortPool(ses.pool)
+	return nil
+}
+
+// admit moves reconnected clients into the pool; alive is false once the
+// listener is down and the rejoin guarantee is gone.
+func (ses *session) admit() (alive bool) {
+	ses.pool, alive = ses.s.admit(ses.pool, ses.joins)
+	return alive
+}
+
+// broadcast fans m out to the pool, dropping unreachable clients.
+func (ses *session) broadcast(m message, round int) {
+	ses.pool = ses.s.broadcast(ses.pool, m, round)
+}
+
+// collect gathers the round's contributions from the pool.
+func (ses *session) collect(round, numParams int) ([]contribution, error) {
+	pool, contribs, firstErr := ses.s.collect(ses.pool, round, numParams)
+	ses.pool = pool
+	return contribs, firstErr
+}
+
+// contribution is one pooled connection's round result: either a leaf
+// device's parameter vector (params set, leaves == 1) or a relaying
+// aggregator's exact subtree sums (sums set, leaves = subtree population).
+// Both storages are backed by the connection's reusable inbound message and
+// stay valid until its next read — aggregation completes within the round.
+type contribution struct {
+	params []float64
+	sums   []nn.Accum
+	leaves int
+}
+
+// accumulate folds the round's contributions into acc — resetting it first —
+// and returns the total leaf count. Leaf parameters are added exactly and
+// subtree sums merged exactly, so the result is the exact multiset sum over
+// every leaf device below this node, independent of topology.
+func accumulate(acc []nn.Accum, contribs []contribution) int {
+	for i := range acc {
+		acc[i].Reset()
+	}
+	total := 0
+	for _, c := range contribs {
+		if c.sums != nil {
+			nn.MergeAccum(acc, c.sums)
+		} else {
+			nn.AddParamsAccum(acc, c.params)
+		}
+		total += c.leaves
+	}
+	return total
+}
+
 // Serve accepts the initial cohort of clients, runs all rounds starting
 // from the initial global model, and returns the final global model. The
 // hook, if non-nil, runs after every aggregation.
@@ -249,73 +355,38 @@ func sortPool(pool []*serverConn) {
 // least Quorum updates survived, average exactly those survivors into the
 // global model, else abort. Serve returns early only when a round cannot
 // reach quorum (or setup fails); individual client failures are absorbed.
+//
+// A client may be a leaf device (msgUpdate) or a relaying aggregator
+// (msgRelay) — the mean is taken over leaf devices, with each relayed
+// subtree entering the sum exactly, so any aggregation tree reproduces the
+// flat federation's model bit-for-bit (DESIGN.md, "Hierarchical
+// aggregation"). Quorum counts direct children: a subtree that misses its
+// deadline drops from this node's quorum, not from the global round.
 func (s *Server) Serve(initial []float64, hook RoundHook) ([]float64, error) {
-	joins := make(chan *serverConn, s.numClients)
-	go s.acceptLoop(joins)
-
-	var pool []*serverConn
-	defer func() {
-		// Serve owns all connection state: close the listener to stop the
-		// accept loop, then drain it and release every connection. The
-		// protocol outcome is already decided, so close errors carry no
-		// signal.
-		_ = s.ln.Close()
-		for sc := range joins {
-			_ = sc.conn.Close()
-		}
-		for _, sc := range pool {
-			_ = sc.conn.Close()
-		}
-	}()
+	ses := s.startSession()
+	defer ses.close()
 
 	quorum := s.quorum()
 	if quorum > s.numClients {
 		return nil, fmt.Errorf("fed: quorum %d exceeds client count %d", quorum, s.numClients)
 	}
-
-	// Initial cohort: the paper's setting, all devices present at the
-	// start.
-	for len(pool) < s.numClients {
-		sc, ok := <-joins
-		if !ok {
-			return nil, fmt.Errorf("fed: accept: %w", s.takeAcceptErr())
-		}
-		pool = append(pool, sc)
+	if err := ses.waitCohort(); err != nil {
+		return nil, err
 	}
-	sortPool(pool)
 
 	global := append([]float64(nil), initial...)
+	acc := make([]nn.Accum, len(global))
 
 	for round := 1; round <= s.rounds; round++ {
-		var alive bool
-		pool, alive = s.admit(pool, joins)
-		if !alive {
-			return nil, &RoundError{Round: round, Phase: PhaseBroadcast, Client: -1,
-				Err: fmt.Errorf("listener down, shutting down: %w", s.takeAcceptErr())}
+		contribs, rerr := s.round(ses, round, global)
+		if rerr != nil {
+			return nil, rerr
 		}
-		if len(pool) < quorum {
-			return nil, &RoundError{Round: round, Phase: PhaseBroadcast, Client: -1,
-				Err: fmt.Errorf("%d live clients below quorum %d", len(pool), quorum)}
-		}
-
-		pool = s.broadcast(pool, message{kind: msgModel, round: round, params: global}, round)
-		if len(pool) < quorum {
-			return nil, &RoundError{Round: round, Phase: PhaseBroadcast, Client: -1,
-				Err: fmt.Errorf("%d clients reachable after broadcast, quorum %d", len(pool), quorum)}
-		}
-
-		var locals [][]float64
-		var firstErr error
-		pool, locals, firstErr = s.collect(pool, round, len(global))
-		if len(locals) < quorum {
-			return nil, &RoundError{Round: round, Phase: PhaseCollect, Client: -1,
-				Err: fmt.Errorf("%d of %d updates arrived, quorum %d: %w",
-					len(locals), s.numClients, quorum, firstErr)}
-		}
-
-		// Quorum aggregation: the unweighted mean of exactly the surviving
-		// clients' parameters, in stable (ID, seq) order.
-		nn.AverageParams(global, locals...)
+		total := accumulate(acc, contribs)
+		nn.MeanAccum(global, acc, total)
+		s.mu.Lock()
+		s.leaves = int64(total)
+		s.mu.Unlock()
 		if hook != nil {
 			hook(round, global)
 		}
@@ -323,8 +394,38 @@ func (s *Server) Serve(initial []float64, hook RoundHook) ([]float64, error) {
 
 	// Final model delivery is best-effort per client: a device that died
 	// after the last aggregation cannot invalidate the result.
-	s.broadcast(pool, message{kind: msgDone, round: s.rounds, params: global}, s.rounds)
+	ses.broadcast(message{kind: msgDone, round: s.rounds, params: global}, s.rounds)
 	return global, nil
+}
+
+// round drives one admit → broadcast → collect cycle over the session and
+// returns the surviving contributions, or a *RoundError when the round
+// cannot reach quorum (shared verbatim between the root Serve and interior
+// aggregators, whose rounds differ only in what happens to the result).
+func (s *Server) round(ses *session, round int, global []float64) ([]contribution, error) {
+	quorum := s.quorum()
+	if !ses.admit() {
+		return nil, &RoundError{Round: round, Phase: PhaseBroadcast, Client: -1,
+			Err: fmt.Errorf("listener down, shutting down: %w", s.takeAcceptErr())}
+	}
+	if len(ses.pool) < quorum {
+		return nil, &RoundError{Round: round, Phase: PhaseBroadcast, Client: -1,
+			Err: fmt.Errorf("%d live clients below quorum %d", len(ses.pool), quorum)}
+	}
+
+	ses.broadcast(message{kind: msgModel, round: round, params: global}, round)
+	if len(ses.pool) < quorum {
+		return nil, &RoundError{Round: round, Phase: PhaseBroadcast, Client: -1,
+			Err: fmt.Errorf("%d clients reachable after broadcast, quorum %d", len(ses.pool), quorum)}
+	}
+
+	contribs, firstErr := ses.collect(round, len(global))
+	if len(contribs) < quorum {
+		return nil, &RoundError{Round: round, Phase: PhaseCollect, Client: -1,
+			Err: fmt.Errorf("%d of %d updates arrived, quorum %d: %w",
+				len(contribs), s.numClients, quorum, firstErr)}
+	}
+	return contribs, nil
 }
 
 // takeAcceptErr returns the parked accept-loop error.
@@ -411,20 +512,21 @@ func (s *Server) broadcast(pool []*serverConn, m message, round int) []*serverCo
 	return alive
 }
 
-// collect reads one round update from every pooled client concurrently,
+// collect reads one round result from every pooled client concurrently,
 // each read bounded by RoundTimeout. It returns the surviving pool, the
-// survivors' parameter vectors in pool (ID, seq) order, and the first
-// failure for quorum-abort diagnostics. Failed clients — deadline misses,
-// dead sockets, wrong round, wrong shape — are dropped; their connections
-// are closed so a straggler's late frame can never desynchronise a later
-// round (the device rejoins with a fresh connection instead). Byte
-// accounting sums the bytes each complete, accepted update actually put on
-// the wire — under the dense codec exactly TransferSize per survivor, and
-// under the compressed codecs their true (smaller) frame sizes.
-func (s *Server) collect(pool []*serverConn, round, numParams int) ([]*serverConn, [][]float64, error) {
+// survivors' contributions in pool (ID, seq) order, and the first failure
+// for quorum-abort diagnostics. Failed clients — deadline misses, dead
+// sockets, wrong round, wrong shape, malformed relay blocks — are dropped;
+// their connections are closed so a straggler's late frame can never
+// desynchronise a later round (the device rejoins with a fresh connection
+// instead). Byte accounting sums the bytes each complete, accepted result
+// actually put on the wire — under the dense codec exactly TransferSize per
+// leaf survivor, under the compressed codecs their true (smaller) frame
+// sizes, and for relays their exact-accumulator frames.
+func (s *Server) collect(pool []*serverConn, round, numParams int) ([]*serverConn, []contribution, error) {
 	var wg sync.WaitGroup
 	errs := make([]error, len(pool))
-	updates := make([][]float64, len(pool))
+	updates := make([]contribution, len(pool))
 	recv := make([]int, len(pool))
 	for i, sc := range pool {
 		wg.Add(1)
@@ -436,7 +538,7 @@ func (s *Server) collect(pool []*serverConn, round, numParams int) ([]*serverCon
 	wg.Wait()
 
 	alive := pool[:0]
-	var locals [][]float64
+	var contribs []contribution
 	var firstErr error
 	var received int64
 	for i, sc := range pool {
@@ -449,38 +551,44 @@ func (s *Server) collect(pool []*serverConn, round, numParams int) ([]*serverCon
 			continue
 		}
 		alive = append(alive, sc)
-		locals = append(locals, updates[i])
+		contribs = append(contribs, updates[i])
 		received += int64(recv[i])
 	}
 	s.mu.Lock()
 	s.bytesRecv += received
 	s.mu.Unlock()
-	return alive, locals, firstErr
+	return alive, contribs, firstErr
 }
 
-// collectOne reads and validates a single client's update for the round,
-// returning the decoded parameters (backed by the connection's reusable
-// message, valid until its next read) and the actual bytes the frame
-// occupied on the wire.
-func (s *Server) collectOne(sc *serverConn, round, numParams int) ([]float64, int, error) {
+// collectOne reads and validates a single client's round result — a leaf
+// update or a relayed subtree sum — returning it as a contribution (backed
+// by the connection's reusable message, valid until its next read) plus the
+// actual bytes the frame occupied on the wire.
+func (s *Server) collectOne(sc *serverConn, round, numParams int) (contribution, int, error) {
 	if s.RoundTimeout > 0 {
 		if err := sc.conn.SetReadDeadline(s.now().Add(s.RoundTimeout)); err != nil {
-			return nil, 0, fmt.Errorf("set deadline: %w", err)
+			return contribution{}, 0, fmt.Errorf("set deadline: %w", err)
 		}
 	}
 	n, err := sc.rx.readMessage(sc.r, &sc.msg)
 	if err != nil {
-		return nil, 0, err
+		return contribution{}, 0, err
 	}
 	m := &sc.msg
-	if m.kind != msgUpdate {
-		return nil, 0, fmt.Errorf("fed: message type %d, want update", m.kind)
+	if m.kind != msgUpdate && m.kind != msgRelay {
+		return contribution{}, 0, fmt.Errorf("fed: message type %d, want update or relay", m.kind)
 	}
 	if m.round != round {
-		return nil, 0, fmt.Errorf("fed: answered round %d during round %d", m.round, round)
+		return contribution{}, 0, fmt.Errorf("fed: answered round %d during round %d", m.round, round)
+	}
+	if m.kind == msgRelay {
+		if len(m.sums) != numParams {
+			return contribution{}, 0, fmt.Errorf("fed: relayed %d sums, want %d", len(m.sums), numParams)
+		}
+		return contribution{sums: m.sums, leaves: m.leaves}, n, nil
 	}
 	if len(m.params) != numParams {
-		return nil, 0, fmt.Errorf("fed: sent %d params, want %d", len(m.params), numParams)
+		return contribution{}, 0, fmt.Errorf("fed: sent %d params, want %d", len(m.params), numParams)
 	}
-	return m.params, n, nil
+	return contribution{params: m.params, leaves: 1}, n, nil
 }

@@ -1,0 +1,257 @@
+package fed
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fedpower/internal/nn"
+	"fedpower/internal/par"
+)
+
+// Hierarchical aggregation topology. A TreeNode describes one aggregation
+// node: the leaf devices attached directly to it and the child aggregators
+// below it. The root of a tree is the central server; interior nodes are
+// edge/regional aggregators (fed.Aggregator over TCP, or emulated in
+// process by RunTree).
+//
+// Because every aggregation step in this package is an exact fixed-point
+// sum (nn.Accum) and only the root rounds and scales, the aggregated model
+// is a function of the leaf multiset only: any topology over the same
+// clients — including the flat single-server one — produces bit-identical
+// parameters every round. See DESIGN.md, "Hierarchical aggregation".
+type TreeNode struct {
+	// Leaves is the number of leaf devices attached directly to this node.
+	Leaves int
+	// Children are the child aggregators below this node.
+	Children []*TreeNode
+}
+
+// LeafCount returns the total leaf-device population of the subtree.
+func (t *TreeNode) LeafCount() int {
+	n := t.Leaves
+	for _, c := range t.Children {
+		n += c.LeafCount()
+	}
+	return n
+}
+
+// Depth returns the number of aggregation levels in the subtree: 1 for a
+// flat server with only direct leaves, 2 for one tier of edge aggregators,
+// and so on.
+func (t *TreeNode) Depth() int {
+	d := 1
+	for _, c := range t.Children {
+		if cd := c.Depth() + 1; cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// Validate checks the subtree is a usable topology: every node aggregates
+// something and every leaf count is non-negative.
+func (t *TreeNode) Validate() error {
+	if t.Leaves < 0 {
+		return fmt.Errorf("fed: negative leaf count %d", t.Leaves)
+	}
+	if t.Leaves == 0 && len(t.Children) == 0 {
+		return fmt.Errorf("fed: aggregation node with no leaves and no children")
+	}
+	for _, c := range t.Children {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Uniform builds a balanced topology from per-level fan-outs: the last
+// number is leaves per deepest aggregator, the ones before it are child
+// aggregators per node. Uniform(8) is a flat 8-device server, Uniform(4, 8)
+// a 2-level tree of 4 edge aggregators with 8 devices each (32 leaves), and
+// Uniform(2, 4, 8) a 3-level tree with 64 leaves.
+func Uniform(fanouts ...int) *TreeNode {
+	if len(fanouts) == 0 {
+		return &TreeNode{}
+	}
+	if len(fanouts) == 1 {
+		return &TreeNode{Leaves: fanouts[0]}
+	}
+	n := &TreeNode{}
+	for i := 0; i < fanouts[0]; i++ {
+		n.Children = append(n.Children, Uniform(fanouts[1:]...))
+	}
+	return n
+}
+
+// ParseTopology parses an "AxBxC" fan-out spec (as accepted by the daemon
+// CLIs' -topology flags) into a balanced tree: "8" is a flat 8-device
+// server, "4x8" four edge aggregators of 8 devices, "2x4x8" two regions of
+// four edges of 8 devices.
+func ParseTopology(s string) (*TreeNode, error) {
+	parts := strings.Split(strings.TrimSpace(s), "x")
+	fanouts := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("fed: topology %q: level %d is not a positive integer", s, i)
+		}
+		fanouts[i] = v
+	}
+	t := Uniform(fanouts...)
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// TreeConfig configures an in-process hierarchical federation (RunTree).
+type TreeConfig struct {
+	// Rounds is the number of federated rounds; it must be positive.
+	Rounds int
+	// Parallelism bounds how many leaves train concurrently; 0 means
+	// sequential (width 1), matching RunParallel's convention.
+	Parallelism int
+	// Codec applies the wire-emulation codec on every root↔leaf parameter
+	// path, with each leaf's streams seeded by its global leaf index —
+	// exactly as the flat runners seed them, so a lossless codec keeps the
+	// tree bit-identical to RunParallelCodec. The zero value exchanges raw
+	// float64 values.
+	Codec Codec
+	// Hook, if non-nil, observes the root's global model after every
+	// aggregation.
+	Hook RoundHook
+}
+
+// treeState is one node's prepared aggregation state: its exact accumulator
+// vector and the global index range of its direct leaves, reused across
+// rounds.
+type treeState struct {
+	node     *TreeNode
+	acc      []nn.Accum
+	children []*treeState
+	leafLo   int
+}
+
+// buildTreeState assigns global leaf indices in depth-first pre-order (a
+// node's direct leaves first, then each child subtree) and allocates the
+// per-node accumulators.
+func buildTreeState(t *TreeNode, numParams int, nextLeaf *int) *treeState {
+	st := &treeState{node: t, acc: make([]nn.Accum, numParams), leafLo: *nextLeaf}
+	*nextLeaf += t.Leaves
+	for _, c := range t.Children {
+		st.children = append(st.children, buildTreeState(c, numParams, nextLeaf))
+	}
+	return st
+}
+
+// sum computes the node's exact per-parameter subtree sums into st.acc and
+// returns the subtree leaf count. Child results cross an emulated relay hop
+// — encoded with nn's accumulator wire format and decoded back — so the
+// in-process tree exercises the same exact-relay arithmetic as the TCP
+// aggregators, not a shortcut around it.
+func (st *treeState) sum(locals [][]float64, scratch *[]byte, tmp *nn.Accum) (int, error) {
+	for i := range st.acc {
+		st.acc[i].Reset()
+	}
+	for l := 0; l < st.node.Leaves; l++ {
+		nn.AddParamsAccum(st.acc, locals[st.leafLo+l])
+	}
+	total := st.node.Leaves
+	for _, c := range st.children {
+		leaves, err := c.sum(locals, scratch, tmp)
+		if err != nil {
+			return 0, err
+		}
+		for i := range c.acc {
+			buf := c.acc[i].AppendWire((*scratch)[:0])
+			*scratch = buf[:0]
+			if _, err := nn.DecodeAccumInto(tmp, buf); err != nil {
+				return 0, fmt.Errorf("fed: relay hop: %w", err)
+			}
+			st.acc[i].AddAccum(tmp)
+		}
+		total += leaves
+	}
+	return total, nil
+}
+
+// RunTree drives an in-process hierarchical federation: clients are
+// attached to the topology's leaf slots in depth-first order, each round
+// trains every leaf (up to Parallelism concurrently, own-slot discipline as
+// in run), sums each subtree exactly, merges the sub-sums upward through
+// emulated relay hops, and lets the root round the mean. The result is
+// bit-identical, every round, to Run / RunParallelCodec over the same
+// clients in leaf order — the property TestTreeBitIdenticalRandomTopologies
+// pins inside the determinism gate.
+func RunTree(global []float64, clients []Client, topo *TreeNode, cfg TreeConfig) error {
+	if cfg.Rounds <= 0 {
+		return fmt.Errorf("fed: round count %d must be positive", cfg.Rounds)
+	}
+	if topo == nil {
+		return fmt.Errorf("fed: nil topology")
+	}
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	if n := topo.LeafCount(); n != len(clients) {
+		return fmt.Errorf("fed: topology has %d leaves for %d clients", n, len(clients))
+	}
+	width := cfg.Parallelism
+	if width <= 0 {
+		width = 1
+	}
+
+	locals := make([][]float64, len(clients))
+	for i := range locals {
+		locals[i] = make([]float64, len(global))
+	}
+	links := newCodecLinks(cfg.Codec, len(clients))
+	broadcast := make([]float64, len(global))
+	var nextLeaf int
+	root := buildTreeState(topo, len(global), &nextLeaf)
+	var scratch []byte
+	var tmp nn.Accum
+
+	for r := 1; r <= cfg.Rounds; r++ {
+		copy(broadcast, global)
+		err := par.ForEach(width, len(clients), func(i int) error {
+			view := broadcast
+			if links != nil {
+				var cerr error
+				if view, cerr = links[i].broadcast(broadcast); cerr != nil {
+					return fmt.Errorf("fed: round %d leaf %d: %w", r, i, cerr)
+				}
+			}
+			updated, err := clients[i].TrainRound(r, view)
+			if err != nil {
+				return fmt.Errorf("fed: round %d leaf %d: %w", r, i, err)
+			}
+			if len(updated) != len(global) {
+				return fmt.Errorf("fed: round %d leaf %d returned %d params, want %d", r, i, len(updated), len(global))
+			}
+			if links != nil {
+				decoded, cerr := links[i].update(updated)
+				if cerr != nil {
+					return fmt.Errorf("fed: round %d leaf %d: %w", r, i, cerr)
+				}
+				updated = decoded
+			}
+			copy(locals[i], updated)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		total, err := root.sum(locals, &scratch, &tmp)
+		if err != nil {
+			return err
+		}
+		nn.MeanAccum(global, root.acc, total)
+		if cfg.Hook != nil {
+			cfg.Hook(r, global)
+		}
+	}
+	return nil
+}

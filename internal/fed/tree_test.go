@@ -1,0 +1,531 @@
+package fed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hashLeaf builds a stateless deterministic trainer for leaf i: a pure
+// function of (round, params), so the same client slice can drive a flat
+// and a tree federation and produce identical local updates in both. The
+// perturbations span ~19 binary orders of magnitude with mixed signs —
+// exactly the regime where naive float64 summation is grouping-sensitive,
+// so any rounding anywhere in the tree path would break bit-identity.
+func hashLeaf(i int) ClientFunc {
+	return func(round int, global []float64) ([]float64, error) {
+		out := make([]float64, len(global))
+		for k, g := range global {
+			h := (uint64(i)+1)*0x9e3779b97f4a7c15 ^ (uint64(round)+1)*0xbf58476d1ce4e5b9 ^ (uint64(k)+1)*0x94d049bb133111eb
+			h ^= h >> 31
+			h *= 0xd6e8feb86659fd93
+			h ^= h >> 32
+			mag := math.Ldexp(float64(h>>40)/float64(1<<24), int(h%19)-9)
+			if h&(1<<39) != 0 {
+				mag = -mag
+			}
+			out[k] = g + mag
+		}
+		return out, nil
+	}
+}
+
+// randomTopology draws a seeded topology of the given maximum depth with
+// uneven fan-outs (2–16 at the leaf tier), uneven child depths, and leaves
+// attached directly to interior nodes.
+func randomTopology(rng *rand.Rand, depth int) *TreeNode {
+	if depth <= 1 {
+		return &TreeNode{Leaves: 1 + rng.Intn(16)}
+	}
+	n := &TreeNode{Leaves: rng.Intn(3)}
+	fan := 2 + rng.Intn(5)
+	for i := 0; i < fan; i++ {
+		n.Children = append(n.Children, randomTopology(rng, 1+rng.Intn(depth-1)))
+	}
+	return n
+}
+
+// roundBits converts a parameter snapshot to its float64 bit patterns for
+// exact comparison via reflect.DeepEqual.
+func roundBits(params []float64) []uint64 {
+	bits := make([]uint64, len(params))
+	for i, p := range params {
+		bits[i] = math.Float64bits(p)
+	}
+	return bits
+}
+
+// TestTreeBitIdenticalRandomTopologies is the tentpole property test: for
+// seeded random topologies (fan-out 2–16, depth 1–3, uneven leaf counts,
+// interior-node leaves), a hierarchical federation produces parameters
+// bit-identical to flat fed.Run / RunParallelCodec over the same clients —
+// every round, under the raw, dense and delta wire paths, at several
+// parallel widths. The name keeps it inside the determinism (-count=2) and
+// race gates (scripts/check.sh).
+func TestTreeBitIdenticalRandomTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	codecs := []struct {
+		name  string
+		codec Codec
+	}{
+		{"raw", Codec{}},
+		{"dense", DenseCodec()},
+		{"delta", DeltaCodec()},
+	}
+	const rounds = 3
+	const numParams = 7
+
+	for trial := 0; trial < 9; trial++ {
+		depth := 1 + trial%3
+		topo := randomTopology(rng, depth)
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("trial %d: generated topology invalid: %v", trial, err)
+		}
+		n := topo.LeafCount()
+		clients := make([]Client, n)
+		for i := range clients {
+			clients[i] = hashLeaf(i)
+		}
+		cc := codecs[trial%len(codecs)]
+
+		init := make([]float64, numParams)
+		for i := range init {
+			init[i] = float64(i) * 0.375
+		}
+
+		flat := append([]float64(nil), init...)
+		var flatRounds [][]uint64
+		logFlat := func(round int, g []float64) { flatRounds = append(flatRounds, roundBits(g)) }
+		var err error
+		if cc.codec.active() {
+			err = RunParallelCodec(flat, clients, rounds, 1, cc.codec, logFlat)
+		} else {
+			err = Run(flat, clients, rounds, logFlat)
+		}
+		if err != nil {
+			t.Fatalf("trial %d (%s): flat run: %v", trial, cc.name, err)
+		}
+
+		tree := append([]float64(nil), init...)
+		var treeRounds [][]uint64
+		err = RunTree(tree, clients, topo, TreeConfig{
+			Rounds:      rounds,
+			Parallelism: 1 + trial%4,
+			Codec:       cc.codec,
+			Hook:        func(round int, g []float64) { treeRounds = append(treeRounds, roundBits(g)) },
+		})
+		if err != nil {
+			t.Fatalf("trial %d (%s): tree run: %v", trial, cc.name, err)
+		}
+
+		if !reflect.DeepEqual(flatRounds, treeRounds) {
+			for r := range flatRounds {
+				if !reflect.DeepEqual(flatRounds[r], treeRounds[r]) {
+					t.Fatalf("trial %d (%s, depth %d, %d leaves): round %d diverged:\nflat %v\ntree %v",
+						trial, cc.name, topo.Depth(), n, r+1, flatRounds[r], treeRounds[r])
+				}
+			}
+		}
+		if !reflect.DeepEqual(roundBits(flat), roundBits(tree)) {
+			t.Fatalf("trial %d (%s): final params diverged", trial, cc.name)
+		}
+	}
+}
+
+// treeFleet wires a full TCP aggregation tree on loopback from a balanced
+// fan-out spec: a root Server, interior Aggregators, and one Participate
+// goroutine per leaf, with leaf IDs assigned depth-first so the same
+// clients drive the flat reference run. It returns the root's per-round
+// parameter bits, the root's final model, and every leaf's final model.
+func treeFleet(t *testing.T, fanouts []int, clients []ClientFunc, init []float64, rounds int, codec Codec) (perRound [][]uint64, final []float64, leafFinals [][]float64) {
+	t.Helper()
+
+	leafFinals = make([][]float64, len(clients))
+	leafErrs := make([]error, len(clients))
+	var wg sync.WaitGroup
+
+	var aggErrs []error
+	var aggMu sync.Mutex
+
+	// spawn builds the subtree below parentAddr for fanouts, attaching
+	// leaves [leafBase, ...) depth-first, and returns the leaf count.
+	var spawn func(parentAddr string, fanouts []int, leafBase int) int
+	nextAggID := uint32(10_000)
+	spawn = func(parentAddr string, fanouts []int, leafBase int) int {
+		if len(fanouts) == 1 {
+			for l := 0; l < fanouts[0]; l++ {
+				i := leafBase + l
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					conn, err := DialCodec(parentAddr, uint32(i+1), codec)
+					if err != nil {
+						leafErrs[i] = err
+						return
+					}
+					defer conn.Close()
+					leafFinals[i], leafErrs[i] = conn.Participate(clients[i])
+				}(i)
+			}
+			return fanouts[0]
+		}
+		total := 0
+		for c := 0; c < fanouts[0]; c++ {
+			agg, err := NewAggregator("127.0.0.1:0", fanouts[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg.Parent = parentAddr
+			nextAggID++
+			agg.ID = nextAggID
+			agg.Uplink = codec
+			agg.Children.Codec = codec
+			agg.Children.RoundTimeout = 5 * time.Second
+			agg.Children.JoinTimeout = 5 * time.Second
+			agg.Retry = Backoff{Attempts: 3, Base: 5 * time.Millisecond}
+			wg.Add(1)
+			go func(agg *Aggregator) {
+				defer wg.Done()
+				if _, err := agg.Run(); err != nil {
+					aggMu.Lock()
+					aggErrs = append(aggErrs, err)
+					aggMu.Unlock()
+				}
+			}(agg)
+			total += spawn(agg.Addr(), fanouts[1:], leafBase+total)
+		}
+		return total
+	}
+
+	root, err := NewServer("127.0.0.1:0", fanouts[0], rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Close()
+	root.Codec = codec
+	root.RoundTimeout = 10 * time.Second
+	root.JoinTimeout = 10 * time.Second
+	if got := spawn(root.Addr(), fanouts, 0); got != len(clients) {
+		t.Fatalf("topology %v has %d leaves for %d clients", fanouts, got, len(clients))
+	}
+
+	final, err = root.Serve(init, func(round int, g []float64) {
+		perRound = append(perRound, roundBits(g))
+	})
+	if err != nil {
+		t.Fatalf("tree root: %v", err)
+	}
+	wg.Wait()
+	aggMu.Lock()
+	for _, err := range aggErrs {
+		t.Errorf("aggregator: %v", err)
+	}
+	aggMu.Unlock()
+	for i, err := range leafErrs {
+		if err != nil {
+			t.Errorf("leaf %d: %v", i, err)
+		}
+	}
+	return perRound, final, leafFinals
+}
+
+// flatFleet runs the flat TCP reference federation over the same clients
+// and leaf IDs.
+func flatFleet(t *testing.T, clients []ClientFunc, init []float64, rounds int, codec Codec) (perRound [][]uint64, final []float64, leafFinals [][]float64) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", len(clients), rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Codec = codec
+	srv.RoundTimeout = 10 * time.Second
+	srv.JoinTimeout = 10 * time.Second
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(clients))
+	leafFinals = make([][]float64, len(clients))
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := DialCodec(srv.Addr(), uint32(i+1), codec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer conn.Close()
+			leafFinals[i], errs[i] = conn.Participate(clients[i])
+		}(i)
+	}
+	final, err = srv.Serve(init, func(round int, g []float64) {
+		perRound = append(perRound, roundBits(g))
+	})
+	if err != nil {
+		t.Fatalf("flat root: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("flat leaf %d: %v", i, err)
+		}
+	}
+	return perRound, final, leafFinals
+}
+
+// TestTreeBitIdenticalTCP proves end-to-end bit-identity over real TCP: 2-
+// and 3-level aggregation trees reproduce the flat federation's parameters
+// on every round and in the final model, under both the dense default codec
+// and the stateful delta codec applied per hop. The name keeps it inside
+// the determinism (-count=2) and race gates.
+func TestTreeBitIdenticalTCP(t *testing.T) {
+	const rounds = 3
+	codecs := []struct {
+		name  string
+		codec Codec
+	}{
+		{"dense", Codec{}},
+		{"delta", DeltaCodec()},
+	}
+	shapes := []struct {
+		name    string
+		fanouts []int
+	}{
+		{"2level-3x4", []int{3, 4}},
+		{"3level-2x2x3", []int{2, 2, 3}},
+	}
+	for _, cc := range codecs {
+		for _, shape := range shapes {
+			t.Run(cc.name+"/"+shape.name, func(t *testing.T) {
+				leaves := 1
+				for _, f := range shape.fanouts {
+					leaves *= f
+				}
+				clients := make([]ClientFunc, leaves)
+				for i := range clients {
+					clients[i] = hashLeaf(i)
+				}
+				init := []float64{0.5, -1.25, 3, 0.0625, -0.75}
+
+				flatRounds, flatFinal, flatLeafFinals := flatFleet(t, clients, init, rounds, cc.codec)
+				treeRounds, treeFinal, leafFinals := treeFleet(t, shape.fanouts, clients, init, rounds, cc.codec)
+
+				if !reflect.DeepEqual(flatRounds, treeRounds) {
+					t.Fatalf("per-round params diverged:\nflat %v\ntree %v", flatRounds, treeRounds)
+				}
+				if !reflect.DeepEqual(roundBits(flatFinal), roundBits(treeFinal)) {
+					t.Fatalf("final params diverged: flat %v, tree %v", flatFinal, treeFinal)
+				}
+				// Leaves observe the final model through the codec'd done frame
+				// (a float32 wire image under both codecs), so the end-to-end
+				// claim is leaf-vs-leaf: every tree leaf must see the exact
+				// bits its flat counterpart saw.
+				for i, lf := range leafFinals {
+					if !reflect.DeepEqual(roundBits(lf), roundBits(flatLeafFinals[i])) {
+						t.Errorf("leaf %d final %v differs from flat leaf final %v", i, lf, flatLeafFinals[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTreeInteriorFailureFallback kills a mid-tier aggregator mid-run: its
+// parent must commit the remaining rounds at quorum of the surviving
+// subtree, and the orphaned leaves must rejoin the federation through their
+// configured fallback parent — ending with the same final model as every
+// other device.
+func TestTreeInteriorFailureFallback(t *testing.T) {
+	const rounds = 8
+	root, err := NewServer("127.0.0.1:0", 2, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Close()
+	root.Quorum = 1
+	root.RoundTimeout = 3 * time.Second
+	root.WriteTimeout = 2 * time.Second
+	root.JoinTimeout = 3 * time.Second
+
+	var dropMu sync.Mutex
+	var droppedAggs []uint32
+	root.OnDrop = func(id uint32, round int, err error) {
+		dropMu.Lock()
+		droppedAggs = append(droppedAggs, id)
+		dropMu.Unlock()
+	}
+
+	newAgg := func(id uint32) *Aggregator {
+		agg, err := NewAggregator("127.0.0.1:0", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg.Parent = root.Addr()
+		agg.ID = id
+		agg.Children.RoundTimeout = 2 * time.Second
+		agg.Children.JoinTimeout = 2 * time.Second
+		agg.Retry = Backoff{Attempts: 3, Base: 5 * time.Millisecond}
+		return agg
+	}
+	aggA := newAgg(101)
+	aggB := newAgg(102)
+
+	var wg sync.WaitGroup
+	var aggAErr, aggBErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); _, aggAErr = aggA.Run() }()
+	go func() { defer wg.Done(); _, aggBErr = aggB.Run() }()
+
+	// Leaves 0,1 under A with B as fallback parent; leaves 2,3 under B.
+	parts := make([]*Participant, 4)
+	finals := make([][]float64, 4)
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		addr, fallbacks := aggA.Addr(), []string{aggB.Addr()}
+		if i >= 2 {
+			addr, fallbacks = aggB.Addr(), nil
+		}
+		parts[i] = &Participant{
+			Addr:      addr,
+			Fallbacks: fallbacks,
+			ID:        uint32(i + 1),
+			Retry:     Backoff{Attempts: 20, Base: 5 * time.Millisecond, Max: 100 * time.Millisecond},
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			finals[i], errs[i] = parts[i].Run(hashLeaf(i))
+		}(i)
+	}
+
+	completed := 0
+	final, err := root.Serve([]float64{0.5, -2}, func(round int, g []float64) {
+		completed = round
+		if round == 3 {
+			// Kill the mid-tier aggregator A between rounds: its listener
+			// dies, its subtree round fails fatally, its upward link drops.
+			_ = aggA.Close()
+		}
+		if round >= 3 {
+			// Pace the surviving rounds: with instant trainers a loopback
+			// round commits in well under a millisecond, which would finish
+			// the run before the orphans' redial backoff ever reaches the
+			// fallback parent.
+			time.Sleep(75 * time.Millisecond)
+		}
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("root: %v (completed %d rounds)", err, completed)
+	}
+	if completed != rounds {
+		t.Fatalf("root committed %d rounds, want %d", completed, rounds)
+	}
+	if aggAErr == nil {
+		t.Error("killed aggregator A finished without error")
+	}
+	if aggBErr != nil {
+		t.Errorf("surviving aggregator B: %v", aggBErr)
+	}
+
+	dropMu.Lock()
+	sawA := false
+	for _, id := range droppedAggs {
+		if id == 101 {
+			sawA = true
+		}
+	}
+	dropMu.Unlock()
+	if !sawA {
+		t.Error("root never dropped aggregator A from its quorum")
+	}
+
+	// Every leaf — orphaned or not — must see the same final model: the
+	// default dense codec's float32 image of the root's final parameters.
+	wireFinal := make([]float64, len(final))
+	for i, v := range final {
+		wireFinal[i] = float64(float32(v))
+	}
+	for i := 0; i < 4; i++ {
+		if errs[i] != nil {
+			t.Fatalf("leaf %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(roundBits(finals[i]), roundBits(wireFinal)) {
+			t.Errorf("leaf %d final %v differs from root final's wire image %v", i, finals[i], wireFinal)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if parts[i].Reconnects() == 0 {
+			t.Errorf("orphan leaf %d never reconnected", i)
+		}
+	}
+	if rejoins := aggB.Children.Rejoins(); rejoins < 2 {
+		t.Errorf("fallback aggregator B admitted %d rejoins, want >= 2 (both orphans)", rejoins)
+	}
+	if got := root.Leaves(); got != 4 {
+		t.Errorf("root's last committed round covered %d leaves, want 4 (B's full subtree)", got)
+	}
+}
+
+// TestTopologyParsing pins the CLI topology grammar.
+func TestTopologyParsing(t *testing.T) {
+	for _, tc := range []struct {
+		in     string
+		leaves int
+		depth  int
+	}{
+		{"8", 8, 1},
+		{"4x8", 32, 2},
+		{"2x4x8", 64, 3},
+		{" 3 x 5 ", 15, 2},
+	} {
+		topo, err := ParseTopology(tc.in)
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", tc.in, err)
+		}
+		if got := topo.LeafCount(); got != tc.leaves {
+			t.Errorf("ParseTopology(%q).LeafCount() = %d, want %d", tc.in, got, tc.leaves)
+		}
+		if got := topo.Depth(); got != tc.depth {
+			t.Errorf("ParseTopology(%q).Depth() = %d, want %d", tc.in, got, tc.depth)
+		}
+	}
+	for _, bad := range []string{"", "0", "-3", "4x", "4x0x2", "axb"} {
+		if _, err := ParseTopology(bad); err == nil {
+			t.Errorf("ParseTopology(%q) accepted", bad)
+		}
+	}
+	if err := (&TreeNode{Leaves: 0}).Validate(); err == nil {
+		t.Error("empty aggregation node validated")
+	}
+}
+
+// TestRunTreeValidation pins the in-process runner's input checks.
+func TestRunTreeValidation(t *testing.T) {
+	clients := []Client{hashLeaf(0), hashLeaf(1)}
+	global := []float64{0}
+	if err := RunTree(global, clients, Uniform(2), TreeConfig{}); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if err := RunTree(global, clients, nil, TreeConfig{Rounds: 1}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if err := RunTree(global, clients, Uniform(3), TreeConfig{Rounds: 1}); err == nil {
+		t.Error("leaf/client count mismatch accepted")
+	}
+	var trained int
+	failing := ClientFunc(func(round int, g []float64) ([]float64, error) {
+		trained++
+		return nil, fmt.Errorf("boom")
+	})
+	if err := RunTree(global, []Client{failing, failing}, Uniform(2), TreeConfig{Rounds: 2}); err == nil {
+		t.Error("training failure not surfaced")
+	}
+	if trained == 0 {
+		t.Error("failing trainer never ran")
+	}
+}

@@ -42,7 +42,23 @@ const (
 	msgUpdate = byte(2) // client → server: locally optimised model
 	msgDone   = byte(3) // server → client: training finished, payload = final model
 	msgJoin   = byte(4) // client → server: hello after dial; round = client ID, count = codec ID, no payload
+	msgRelay  = byte(5) // aggregator → parent: exact per-parameter sub-sums + leaf count (see below)
 )
+
+// The relay frame (msgRelay) is how an interior aggregator forwards its
+// subtree's round result upward. Its header count field is the parameter
+// count; the payload is
+//
+//	offset 0: leaves (uint32) — leaf devices aggregated in this subtree
+//	offset 4: blen   (uint32) — byte length of the accumulator block
+//	offset 8: count consecutive nn.Accum wire encodings (nn.AppendWire)
+//
+// The payload deliberately bypasses the per-hop codec: a subtree result is
+// an exact fixed-point sum, and re-encoding it through a float32 codec would
+// round it, breaking the end-to-end bit-identity proof (DESIGN.md). The
+// negotiated codec still compresses every other hop — the downward model
+// broadcasts and the leaf updates, which dominate traffic. Relay bytes are
+// model-bearing and count toward the transfer-size accounting.
 
 const headerSize = 9
 
@@ -55,6 +71,8 @@ type message struct {
 	round  int
 	codec  byte // join frames only: the client's codec wire ID
 	params []float64
+	leaves int        // relay frames only: leaf count of the subtree
+	sums   []nn.Accum // relay frames only: exact per-parameter sub-sums
 }
 
 // writeMessage frames and writes one message under this direction's codec,
@@ -75,6 +93,9 @@ func (cs *codecState) writeMessage(w *bufio.Writer, m message) (int, error) {
 		}
 		return headerSize, nil
 	}
+	if m.kind == msgRelay {
+		return cs.writeRelay(w, m)
+	}
 	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(m.params)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return 0, fmt.Errorf("fed: write header: %w", err)
@@ -93,6 +114,81 @@ func (cs *codecState) writeMessage(w *bufio.Writer, m message) (int, error) {
 	return n, nil
 }
 
+// writeRelay frames and writes one relay message: header (count = number of
+// sums), then the leaf count, the accumulator-block length and the exact
+// accumulator encodings. The block is built in the codec's scratch buffer,
+// so the steady-state path reuses storage round over round.
+func (cs *codecState) writeRelay(w *bufio.Writer, m message) (int, error) {
+	if m.leaves < 1 {
+		return 0, fmt.Errorf("fed: relay frame with leaf count %d", m.leaves)
+	}
+	hdr := &cs.hdr
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(m.sums)))
+	buf := append(cs.scratch[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	for i := range m.sums {
+		buf = m.sums[i].AppendWire(buf)
+	}
+	cs.scratch = buf[:0]
+	binary.LittleEndian.PutUint32(buf, uint32(m.leaves))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(buf)-8))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("fed: write header: %w", err)
+	}
+	n := headerSize
+	if _, err := w.Write(buf); err != nil {
+		return n, fmt.Errorf("fed: write relay payload: %w", err)
+	}
+	n += len(buf)
+	if err := w.Flush(); err != nil {
+		return n, fmt.Errorf("fed: flush: %w", err)
+	}
+	return n, nil
+}
+
+// readRelay reads the payload of a relay frame whose header announced count
+// accumulators, reusing m's sums storage. Hostile lengths are bounded before
+// any allocation, and a block that does not decode into exactly count
+// accumulators consuming exactly its announced length is rejected whole — a
+// partial sub-sum never survives this function.
+func (cs *codecState) readRelay(r *bufio.Reader, m *message, count int) (int, error) {
+	var pre [8]byte
+	n := headerSize
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return n, fmt.Errorf("fed: read relay preamble: %w", err)
+	}
+	n += 8
+	leaves := int(binary.LittleEndian.Uint32(pre[:]))
+	blen := int(binary.LittleEndian.Uint32(pre[4:]))
+	if leaves < 1 || leaves > maxWireParams {
+		return n, fmt.Errorf("fed: relay leaf count %d out of range", leaves)
+	}
+	if blen < count || blen > count*nn.MaxAccumWire {
+		return n, fmt.Errorf("fed: relay block length %d for %d accumulators", blen, count)
+	}
+	buf := cs.growScratch(blen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return n, fmt.Errorf("fed: read relay payload: %w", err)
+	}
+	n += blen
+	if cap(m.sums) < count {
+		m.sums = make([]nn.Accum, count)
+	}
+	sums := m.sums[:count]
+	off := 0
+	for i := range sums {
+		used, err := nn.DecodeAccumInto(&sums[i], buf[off:])
+		if err != nil {
+			return n, fmt.Errorf("fed: relay accumulator %d: %w", i, err)
+		}
+		off += used
+	}
+	if off != blen {
+		return n, fmt.Errorf("fed: relay block has %d trailing bytes", blen-off)
+	}
+	m.leaves, m.sums, m.params = leaves, sums, m.params[:0]
+	return n, nil
+}
+
 // readMessage reads and decodes one framed message under this direction's
 // codec into m, reusing m's params storage, and returns the number of bytes
 // consumed from the wire. The decoded params are valid until the next
@@ -103,7 +199,7 @@ func (cs *codecState) readMessage(r *bufio.Reader, m *message) (int, error) {
 		return 0, fmt.Errorf("fed: read header: %w", err)
 	}
 	kind := hdr[0]
-	if kind != msgModel && kind != msgUpdate && kind != msgDone && kind != msgJoin {
+	if kind != msgModel && kind != msgUpdate && kind != msgDone && kind != msgJoin && kind != msgRelay {
 		return headerSize, fmt.Errorf("fed: unknown message type %d", kind)
 	}
 	round := int(binary.LittleEndian.Uint32(hdr[1:]))
@@ -120,7 +216,11 @@ func (cs *codecState) readMessage(r *bufio.Reader, m *message) (int, error) {
 	if count > maxWireParams {
 		return headerSize, fmt.Errorf("fed: parameter count %d exceeds limit", count)
 	}
-	m.kind, m.round, m.codec = kind, round, 0
+	if kind == msgRelay {
+		m.kind, m.round, m.codec, m.leaves = kind, round, 0, 0
+		return cs.readRelay(r, m, count)
+	}
+	m.kind, m.round, m.codec, m.leaves = kind, round, 0, 0
 	n := headerSize
 	if count == 0 {
 		m.params = m.params[:0]

@@ -60,9 +60,11 @@ type TaintConfig struct {
 //
 //	sources  sim.Observation, sim.Stats, trace.Entry, and the sim.Device
 //	         accessors producing them (Step, Stats)
-//	sinks    the fed wire message payload (fed.message.params), the wire
-//	         parameter encoders (nn.EncodeParams, nn.EncodeParamsInto and
-//	         the fed codec payload encoder), and every Write-style call
+//	sinks    the fed wire message payloads (fed.message.params and the
+//	         hierarchical relay sums fed.message.sums), the wire parameter
+//	         encoders (nn.EncodeParams, nn.EncodeParamsInto, the fed codec
+//	         payload encoder, the relay-frame encoder and the exact
+//	         accumulator's wire encoding), and every Write-style call
 //	         inside internal/fed
 //	allowed  (*nn.Network).Params — the learned parameter vector, the only
 //	         data the paper permits to leave a device
@@ -81,9 +83,12 @@ func DefaultPrivacyConfig() TaintConfig {
 			"fedpower/internal/nn.EncodeParams",
 			"fedpower/internal/nn.EncodeParamsInto",
 			"(*fedpower/internal/fed.codecState).encodePayload",
+			"(*fedpower/internal/fed.codecState).writeRelay",
+			"(*fedpower/internal/nn.Accum).AppendWire",
 		},
 		SinkFields: []string{
 			"fedpower/internal/fed.message.params",
+			"fedpower/internal/fed.message.sums",
 		},
 		WriterSinkPkgs: []string{
 			"fedpower/internal/fed",

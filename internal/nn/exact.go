@@ -1,0 +1,377 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Exact parameter accumulation. Floating-point addition is not associative,
+// so the value of a naive Σ θ_n depends on the order — and, worse, on the
+// grouping — of the additions. A flat federation sums its clients in one
+// stable order, but a hierarchical one sums each subtree first and then sums
+// the subtree results: a different grouping, hence (under naive float64
+// arithmetic) a different last-ulp result every time the topology changes.
+//
+// Accum removes the order dependence instead of pinning it: it is a
+// fixed-point superaccumulator (after Kulisch) wide enough to hold the sum
+// of billions of float64 values with NO rounding at all. Adding a float64 is
+// exact, merging two accumulators is exact, and therefore the accumulated
+// value — and its correctly-rounded float64 reading — is a function of the
+// multiset of summands only. Any tree of partial sums over any topology
+// produces bit-identical results to the flat sum, which is the foundation of
+// the hierarchical federation's bit-identity guarantee (fed.RunTree,
+// fed.Aggregator) and of AverageParams below.
+//
+// Layout: 34 little-endian uint64 limbs interpreted as one 2176-bit two's
+// complement fixed-point integer in units of 2^-1088. Bit index i carries
+// weight 2^(i-1088): the lowest finite float64 bit (2^-1074, a subnormal's
+// LSB) sits at index 14, the highest (2^1023) at index 2111, leaving 64 bits
+// of carry headroom — ~2^63 max-magnitude summands — before the sign bit.
+// Non-finite summands cannot be represented in fixed point; they are tallied
+// separately and resolved by Round with IEEE semantics (any NaN, or both
+// infinity signs, poisons the sum to NaN).
+
+const (
+	// accLimbs is the number of 64-bit limbs in the fixed-point window.
+	accLimbs = 34
+	// accOffset is the bias between bit index and binary weight: bit i
+	// weighs 2^(i-accOffset).
+	accOffset = 1088
+	// accSubLSB is the bit index of 2^-1074, the smallest nonzero float64
+	// magnitude. Every finite summand's mantissa lands at or above it, so
+	// bits below accSubLSB are always zero and subnormal readings are exact.
+	accSubLSB = 14
+)
+
+// MaxAccumWire is the largest wire encoding of one Accum in bytes: the flag
+// byte, the non-finite tallies, the span origin and a full-width limb span.
+// fed uses it to bound hostile relay-frame allocations.
+const MaxAccumWire = 1 + 12 + 1 + 8*accLimbs
+
+// Accum is an exact accumulator for float64 sums: order- and
+// grouping-invariant by construction. The zero value is an empty sum. Accum
+// is a value type — assignment copies the sum — but the methods take
+// pointers; do not copy an Accum concurrently with writes.
+type Accum struct {
+	limb [accLimbs]uint64
+	// Non-finite tallies, merged additively so they too are
+	// order-invariant. uint32 bounds fleets at 4 G summands of each kind,
+	// the same order as the fixed-point headroom.
+	nan, posInf, negInf uint32
+}
+
+// Reset empties the accumulator.
+func (a *Accum) Reset() { *a = Accum{} }
+
+// IsZero reports whether the accumulator holds an empty (or exactly
+// cancelled) finite sum with no non-finite tallies.
+func (a *Accum) IsZero() bool {
+	if a.nan != 0 || a.posInf != 0 || a.negInf != 0 {
+		return false
+	}
+	for _, l := range a.limb {
+		if l != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add adds v to the sum, exactly.
+func (a *Accum) Add(v float64) {
+	b := math.Float64bits(v)
+	exp := int(b >> 52 & 0x7ff)
+	frac := b & (1<<52 - 1)
+	if exp == 0x7ff {
+		switch {
+		case frac != 0:
+			a.nan++
+		case b>>63 != 0:
+			a.negInf++
+		default:
+			a.posInf++
+		}
+		return
+	}
+	m := frac
+	e := exp
+	if exp != 0 {
+		m |= 1 << 52
+	} else {
+		e = 1 // subnormals share the E=1 weight 2^-1074 for their LSB
+	}
+	if m == 0 {
+		return // ±0 contributes nothing (the sum's sign of zero is +0)
+	}
+	// The mantissa's LSB has weight 2^(e-1075); place it at bit index s.
+	s := e - 1075 + accOffset
+	li, off := s>>6, uint(s&63)
+	lo := m << off
+	var hi uint64
+	if off != 0 {
+		hi = m >> (64 - off)
+	}
+	if b>>63 == 0 {
+		a.addAt(li, lo, hi)
+	} else {
+		a.subAt(li, lo, hi)
+	}
+}
+
+// addAt adds the two-limb quantity (lo, hi) at limb index li, propagating
+// the carry. A carry off the top limb wraps mod 2^2176, which is the two's
+// complement behaviour negative partial sums rely on.
+func (a *Accum) addAt(li int, lo, hi uint64) {
+	var c uint64
+	a.limb[li], c = bits.Add64(a.limb[li], lo, 0)
+	a.limb[li+1], c = bits.Add64(a.limb[li+1], hi, c)
+	for i := li + 2; c != 0 && i < accLimbs; i++ {
+		a.limb[i], c = bits.Add64(a.limb[i], 0, c)
+	}
+}
+
+// subAt subtracts the two-limb quantity (lo, hi) at limb index li,
+// propagating the borrow.
+func (a *Accum) subAt(li int, lo, hi uint64) {
+	var bw uint64
+	a.limb[li], bw = bits.Sub64(a.limb[li], lo, 0)
+	a.limb[li+1], bw = bits.Sub64(a.limb[li+1], hi, bw)
+	for i := li + 2; bw != 0 && i < accLimbs; i++ {
+		a.limb[i], bw = bits.Sub64(a.limb[i], 0, bw)
+	}
+}
+
+// AddAccum merges another accumulator into this one, exactly: afterwards a
+// holds the sum of both multisets. This is the tree-aggregation step — a
+// parent absorbing a subtree's partial sum.
+func (a *Accum) AddAccum(b *Accum) {
+	var c uint64
+	for i := range a.limb {
+		a.limb[i], c = bits.Add64(a.limb[i], b.limb[i], c)
+	}
+	a.nan += b.nan
+	a.posInf += b.posInf
+	a.negInf += b.negInf
+}
+
+// negate replaces the fixed-point window with its two's complement.
+func (a *Accum) negate() {
+	var c uint64 = 1
+	for i := range a.limb {
+		a.limb[i], c = bits.Add64(^a.limb[i], 0, c)
+	}
+}
+
+// window returns the 64 bits starting at bit index from (little-endian
+// across limbs).
+func (a *Accum) window(from int) uint64 {
+	li, off := from>>6, uint(from&63)
+	w := a.limb[li] >> off
+	if off != 0 && li+1 < accLimbs {
+		w |= a.limb[li+1] << (64 - off)
+	}
+	return w
+}
+
+// anyBelow reports whether any bit with index < n is set — the sticky bit of
+// the rounding step.
+func (a *Accum) anyBelow(n int) bool {
+	if n <= 0 {
+		return false
+	}
+	li, off := n>>6, uint(n&63)
+	for i := 0; i < li; i++ {
+		if a.limb[i] != 0 {
+			return true
+		}
+	}
+	return off != 0 && li < accLimbs && a.limb[li]<<(64-off) != 0
+}
+
+// Round returns the sum as a float64, correctly rounded to nearest (ties to
+// even) — the unique reading of the exact value, independent of how the sum
+// was ordered or grouped. Non-finite tallies resolve first: any NaN summand,
+// or infinities of both signs, yields NaN; otherwise a lone infinity sign
+// wins. A sum whose magnitude exceeds the float64 range rounds to ±Inf and a
+// tiny one to a subnormal (exactly — subnormal grids are coarser than the
+// accumulator's, never finer).
+func (a *Accum) Round() float64 {
+	if a.nan > 0 || (a.posInf > 0 && a.negInf > 0) {
+		return math.NaN()
+	}
+	if a.posInf > 0 {
+		return math.Inf(1)
+	}
+	if a.negInf > 0 {
+		return math.Inf(-1)
+	}
+	m := *a
+	neg := m.limb[accLimbs-1]>>63 != 0
+	if neg {
+		m.negate()
+	}
+	h := accLimbs - 1
+	for h >= 0 && m.limb[h] == 0 {
+		h--
+	}
+	if h < 0 {
+		return 0
+	}
+	msb := 64*h + bits.Len64(m.limb[h]) - 1 // highest set bit index
+	lsb := msb - 52                         // 53-bit normal mantissa window
+	if msb < accSubLSB+52 {
+		lsb = accSubLSB // subnormal result: fixed grid at 2^-1074
+	}
+	mant := m.window(lsb)
+	if w := msb - lsb + 1; w < 64 {
+		mant &= 1<<uint(w) - 1
+	}
+	if g := m.window(lsb-1) & 1; g == 1 && (mant&1 == 1 || m.anyBelow(lsb-1)) {
+		// Round up; a mantissa overflow to 2^53 stays exactly representable,
+		// so no renormalisation is needed.
+		mant++
+	}
+	v := math.Ldexp(float64(mant), lsb-accOffset)
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+// Wire encoding flag bits (see AppendWire).
+const (
+	accFlagNeg       = 1 << 7 // fixed-point value is negative (magnitude follows)
+	accFlagNonFinite = 1 << 6 // 12 bytes of non-finite tallies follow the flag
+	accSpanMask      = 0x3f   // low bits: number of magnitude limbs encoded
+)
+
+// AppendWire appends the accumulator's wire encoding to dst and returns the
+// extended slice. The encoding is canonical and compact: one flag byte
+// (sign, non-finite marker, magnitude span length), optional non-finite
+// tallies, then the trimmed little-endian limb span of the magnitude with
+// its origin index. Parameters of similar magnitude span 2–3 limbs, so a
+// typical encoded sum costs ~20–30 bytes — the price of shipping a subtree's
+// sum with nothing rounded away. At most MaxAccumWire bytes are appended.
+func (a *Accum) AppendWire(dst []byte) []byte {
+	m := *a
+	var flags byte
+	if m.limb[accLimbs-1]>>63 != 0 {
+		flags |= accFlagNeg
+		m.negate()
+	}
+	lo, hi := 0, accLimbs-1
+	for lo < accLimbs && m.limb[lo] == 0 {
+		lo++
+	}
+	for hi >= lo && m.limb[hi] == 0 {
+		hi--
+	}
+	span := 0
+	if lo <= hi {
+		span = hi - lo + 1
+	}
+	flags |= byte(span)
+	if a.nan != 0 || a.posInf != 0 || a.negInf != 0 {
+		flags |= accFlagNonFinite
+	}
+	dst = append(dst, flags)
+	if flags&accFlagNonFinite != 0 {
+		dst = binary.LittleEndian.AppendUint32(dst, a.nan)
+		dst = binary.LittleEndian.AppendUint32(dst, a.posInf)
+		dst = binary.LittleEndian.AppendUint32(dst, a.negInf)
+	}
+	if span > 0 {
+		dst = append(dst, byte(lo))
+		for i := lo; i <= hi; i++ {
+			dst = binary.LittleEndian.AppendUint64(dst, m.limb[i])
+		}
+	}
+	return dst
+}
+
+// DecodeAccumInto decodes one AppendWire encoding from the front of src into
+// a (overwriting it) and returns the number of bytes consumed. Any
+// structurally complete encoding decodes — the decoder is total over
+// corrupted spans so a hostile peer can force an error, never a panic or an
+// oversized allocation.
+func DecodeAccumInto(a *Accum, src []byte) (int, error) {
+	if len(src) < 1 {
+		return 0, fmt.Errorf("nn: accumulator encoding empty")
+	}
+	flags := src[0]
+	span := int(flags & accSpanMask)
+	if span > accLimbs {
+		return 0, fmt.Errorf("nn: accumulator span %d exceeds %d limbs", span, accLimbs)
+	}
+	n := 1
+	a.Reset()
+	if flags&accFlagNonFinite != 0 {
+		if len(src) < n+12 {
+			return 0, fmt.Errorf("nn: accumulator encoding truncated in tallies")
+		}
+		a.nan = binary.LittleEndian.Uint32(src[n:])
+		a.posInf = binary.LittleEndian.Uint32(src[n+4:])
+		a.negInf = binary.LittleEndian.Uint32(src[n+8:])
+		n += 12
+	}
+	if span > 0 {
+		if len(src) < n+1+8*span {
+			return 0, fmt.Errorf("nn: accumulator encoding truncated in limb span")
+		}
+		lo := int(src[n])
+		n++
+		if lo+span > accLimbs {
+			return 0, fmt.Errorf("nn: accumulator span [%d,%d) out of range", lo, lo+span)
+		}
+		for i := 0; i < span; i++ {
+			a.limb[lo+i] = binary.LittleEndian.Uint64(src[n:])
+			n += 8
+		}
+		if flags&accFlagNeg != 0 {
+			a.negate()
+		}
+	}
+	return n, nil
+}
+
+// AddParamsAccum adds each of params into the matching accumulator of acc,
+// exactly. It is the leaf step of (tree) aggregation: one client's parameter
+// vector entering the sum.
+func AddParamsAccum(acc []Accum, params []float64) {
+	if len(acc) != len(params) {
+		panic(fmt.Sprintf("nn: %d accumulators for %d params", len(acc), len(params)))
+	}
+	for i, p := range params {
+		acc[i].Add(p)
+	}
+}
+
+// MergeAccum merges each accumulator of src into the matching one of dst,
+// exactly — a parent node absorbing a subtree's per-parameter sums.
+func MergeAccum(dst, src []Accum) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("nn: merging %d accumulators into %d", len(src), len(dst)))
+	}
+	for i := range dst {
+		dst[i].AddAccum(&src[i])
+	}
+}
+
+// MeanAccum overwrites dst with the n-way mean read from the accumulators:
+// the correctly-rounded exact sum times 1/n — exactly the arithmetic of
+// AverageParams, so a tree of exact partial sums reproduces the flat mean
+// bit-for-bit.
+func MeanAccum(dst []float64, acc []Accum, n int) {
+	if len(dst) != len(acc) {
+		panic(fmt.Sprintf("nn: %d accumulators for %d params", len(acc), len(dst)))
+	}
+	if n <= 0 {
+		panic("nn: mean over a non-positive count")
+	}
+	inv := 1 / float64(n)
+	for i := range dst {
+		dst[i] = acc[i].Round() * inv
+	}
+}

@@ -366,6 +366,12 @@ func (n *Network) backprop(top int, delta []float64, grad []float64) {
 // parameter vectors, implementing the unweighted federated-averaging step of
 // Algorithm 2 (θ_{r+1} = 1/N · Σ θ_r^n). All vectors must share dst's
 // length, and at least one source is required.
+//
+// The sum is accumulated exactly (Accum) and rounded once, so the result is
+// a function of the multiset of sources only — independent of their order
+// and, critically, of their grouping. A hierarchical federation that sums
+// subtrees first and merges the partial sums (fed.RunTree, fed.Aggregator)
+// therefore reproduces this flat mean bit-for-bit.
 func AverageParams(dst []float64, srcs ...[]float64) {
 	if len(srcs) == 0 {
 		panic("nn: AverageParams requires at least one source")
@@ -376,12 +382,13 @@ func AverageParams(dst []float64, srcs ...[]float64) {
 		}
 	}
 	inv := 1 / float64(len(srcs))
+	var acc Accum
 	for i := range dst {
-		sum := 0.0
+		acc.Reset()
 		for _, s := range srcs {
-			sum += s[i]
+			acc.Add(s[i])
 		}
-		dst[i] = sum * inv
+		dst[i] = acc.Round() * inv
 	}
 }
 
@@ -412,11 +419,14 @@ func WeightedAverageParams(dst []float64, srcs [][]float64, weights []float64) {
 			panic(fmt.Sprintf("nn: WeightedAverageParams length mismatch: %d vs %d", len(s), len(dst)))
 		}
 	}
+	// The rounded products are summed exactly, so this too is order- and
+	// grouping-invariant for a fixed weight assignment.
+	var acc Accum
 	for i := range dst {
-		sum := 0.0
+		acc.Reset()
 		for j, s := range srcs {
-			sum += s[i] * weights[j]
+			acc.Add(s[i] * weights[j])
 		}
-		dst[i] = sum / total
+		dst[i] = acc.Round() / total
 	}
 }

@@ -12,6 +12,11 @@
 #                                 federation wire path, per codec; every
 #                                 variant is recorded, the dense ones (the
 #                                 paper's wire format) are gated
+#   BenchmarkTreeAggregate      — one interior-node aggregation step per
+#                                 fan-out (2/4/8/16 child subtrees at the
+#                                 paper's model size); every fan-out is
+#                                 recorded and gated — the relay hot path
+#                                 is allocation-free like the wire path
 #   BenchmarkEffectAnalysis     — one effect-and-allocation analysis pass
 #                                 (allocfree + maporder + slotrace) over
 #                                 the module; the static proofs must stay
@@ -30,7 +35,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN='BenchmarkControlStepLatency$|BenchmarkPolicyUpdate$|BenchmarkWireEncode$|BenchmarkWireDecode$|BenchmarkWireRoundTrip$|BenchmarkEffectAnalysis$'
+PATTERN='BenchmarkControlStepLatency$|BenchmarkPolicyUpdate$|BenchmarkWireEncode$|BenchmarkWireDecode$|BenchmarkWireRoundTrip$|BenchmarkTreeAggregate$|BenchmarkEffectAnalysis$'
 BUDGET_PCT="${BENCH_BUDGET_PCT:-20}"
 BASELINE="BENCH_baseline.json"
 TODAY="$(date +%Y-%m-%d)"
@@ -91,6 +96,8 @@ fi
 fail=0
 for name in BenchmarkControlStepLatency BenchmarkPolicyUpdate \
             BenchmarkWireEncode/dense BenchmarkWireDecode/dense BenchmarkWireRoundTrip/dense \
+            BenchmarkTreeAggregate/fanout2 BenchmarkTreeAggregate/fanout4 \
+            BenchmarkTreeAggregate/fanout8 BenchmarkTreeAggregate/fanout16 \
             BenchmarkEffectAnalysis; do
   cur_ns="$(json_field "$OUT" "$name" ns_per_op)"
   cur_allocs="$(json_field "$OUT" "$name" allocs_per_op)"

@@ -20,7 +20,10 @@
 #                        engine against sequential execution (bit-identical
 #                        at every pool width), and the codec bit-identity
 #                        tests (dense and delta federations — in-process at
-#                        widths 1 and 8 and over TCP — must agree bit-for-bit)
+#                        widths 1 and 8 and over TCP — must agree bit-for-bit),
+#                        plus the hierarchical-aggregation identity (randomized
+#                        in-process trees and 2-/3-level TCP fleets must
+#                        reproduce the flat federation bit-for-bit)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,7 +52,7 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical' -count=2 (determinism replay)"
-go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/...
+echo "==> go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical' -count=2 (determinism replay)"
+go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/...
 
 echo "==> all checks passed"
