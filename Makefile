@@ -23,7 +23,7 @@ lint-sarif:
 # Benchmarks the analyzer suite (parse/type-check excluded) — the number
 # the fedlint wall-clock budget guards.
 bench-lint:
-	go test -bench 'DefaultSuite|PrivacyTaint' -benchmem -run XXX ./internal/lint/
+	go test -bench 'DefaultSuite|PrivacyTaint|WireBound' -benchmem -run XXX ./internal/lint/
 
 # Hot-path benchmark gate: runs BenchmarkControlStepLatency,
 # BenchmarkPolicyUpdate and the BenchmarkWire{Encode,Decode,RoundTrip}

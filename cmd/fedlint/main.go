@@ -14,6 +14,14 @@
 //	go run ./cmd/fedlint -list          # describe the analyzer suite
 //	go run ./cmd/fedlint -json ./...    # findings as a JSON array
 //	go run ./cmd/fedlint -sarif ./...   # findings as SARIF 2.1.0 (CI artifact)
+//	go run ./cmd/fedlint -only wirebound,privacytaint ./...  # just these
+//	go run ./cmd/fedlint -skip allocfree ./...               # all but these
+//
+// -only and -skip select analyzers by name (comma-separated, see -list);
+// a name matching no analyzer is a usage error, not a silent no-op. The
+// expensive whole-module analyzers (privacytaint, wirebound, allocfree,
+// maporder, slotrace) can thereby be run — or excluded — independently in
+// CI and local loops.
 //
 // Arguments select which directories' findings are reported; the whole
 // module is always loaded and type-checked so cross-package types resolve.
@@ -38,21 +46,30 @@ func main() {
 	list := flag.Bool("list", false, "describe the analyzer suite and exit")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
 	asSARIF := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	only := flag.String("only", "", "comma-separated analyzer names to run (see -list)")
+	skip := flag.String("skip", "", "comma-separated analyzer names to exclude")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fedlint [-list] [-json|-sarif] [path ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: fedlint [-list] [-only names|-skip names] [-json|-sarif] [path ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if *asJSON && *asSARIF {
 		fatal(fmt.Errorf("-json and -sarif are mutually exclusive"))
 	}
+	if *only != "" && *skip != "" {
+		fatal(fmt.Errorf("-only and -skip are mutually exclusive"))
+	}
 
 	suite := lint.DefaultSuite()
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
 		}
 		return
+	}
+	suite, err := selectAnalyzers(suite, *only, *skip)
+	if err != nil {
+		fatal(err)
 	}
 
 	cwd, err := os.Getwd()
@@ -100,6 +117,58 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "fedlint:", err)
 	os.Exit(2)
+}
+
+// selectAnalyzers applies -only/-skip to the suite. Unknown names are a
+// usage error: a typo'd -only must not gate CI on a vacuous all-clear.
+func selectAnalyzers(suite []lint.Analyzer, only, skip string) ([]lint.Analyzer, error) {
+	if only == "" && skip == "" {
+		return suite, nil
+	}
+	known := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		known[a.Name()] = true
+	}
+	parse := func(list string) (map[string]bool, error) {
+		names := make(map[string]bool)
+		for _, n := range strings.Split(list, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if !known[n] {
+				return nil, fmt.Errorf("unknown analyzer %q (run -list for the suite)", n)
+			}
+			names[n] = true
+		}
+		return names, nil
+	}
+	var out []lint.Analyzer
+	if only != "" {
+		names, err := parse(only)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range suite {
+			if names[a.Name()] {
+				out = append(out, a)
+			}
+		}
+	} else {
+		names, err := parse(skip)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range suite {
+			if !names[a.Name()] {
+				out = append(out, a)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analyzer selection left nothing to run")
+	}
+	return out, nil
 }
 
 // filterSet restricts reported findings to files under selected roots.

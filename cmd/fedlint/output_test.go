@@ -108,6 +108,90 @@ func TestWriteSARIF(t *testing.T) {
 	}
 }
 
+// TestWireBoundFixtureRendering drives the seeded wiremod violations through
+// all three output formats: every wirebound finding must surface its
+// source→sink hop path as numbered hops in text, a path array in -json, and
+// a codeFlow in -sarif.
+func TestWireBoundFixtureRendering(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "wiremod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatalf("load fixture module: %v", err)
+	}
+	suite := []lint.Analyzer{
+		lint.WireBound{Config: lint.WireBoundConfig{
+			WirePkgs:       []string{"wiremod/wire"},
+			AllocFuncs:     []string{"wiremod/buf.Build#0"},
+			SizeFuncs:      []string{"io.CopyN#2"},
+			MaxProvenBound: 1 << 16,
+		}},
+	}
+	diags := lint.Run(pkgs, suite)
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no wirebound findings")
+	}
+	for _, d := range diags {
+		if len(d.Path) < 2 {
+			t.Fatalf("wirebound finding without a hop path: %s", d)
+		}
+		text := d.String()
+		if !strings.Contains(text, "[1] ") || !strings.Contains(text, fmt.Sprintf("[%d] ", len(d.Path))) {
+			t.Errorf("text rendering lost hops:\n%s", text)
+		}
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := writeJSON(&jsonBuf, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(jsonBuf.Bytes(), &findings); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	jsonPaths := 0
+	for _, f := range findings {
+		jsonPaths += len(f.Path)
+		for _, h := range f.Path {
+			if strings.HasPrefix(h.File, "/") || h.Line == 0 {
+				t.Errorf("JSON hop not relativized or unpositioned: %+v", h)
+			}
+		}
+	}
+	if jsonPaths == 0 {
+		t.Error("JSON output carried no path hops")
+	}
+
+	var sarifBuf bytes.Buffer
+	if err := writeSARIF(&sarifBuf, root, suite, diags); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(sarifBuf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid SARIF: %v", err)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	if !ruleIDs["wirebound"] {
+		t.Error("wirebound missing from SARIF driver rules")
+	}
+	flows := 0
+	for _, r := range log.Runs[0].Results {
+		for _, cf := range r.CodeFlows {
+			for _, tf := range cf.ThreadFlows {
+				flows += len(tf.Locations)
+			}
+		}
+	}
+	if flows != jsonPaths {
+		t.Errorf("SARIF threadFlow locations = %d, JSON path hops = %d; formats disagree", flows, jsonPaths)
+	}
+}
+
 // TestEffectFixtureRendering drives the seeded effectmod violations through
 // all three output formats: every interprocedural finding must surface its
 // position-annotated path as numbered hops in text, a path array in -json,

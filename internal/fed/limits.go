@@ -1,0 +1,40 @@
+package fed
+
+import "fedpower/internal/nn"
+
+// Declared caps of the federation wire protocol — the single source of
+// truth every decode path narrows hostile integers against before any
+// allocation, index or loop use. The wirebound analyzer (internal/lint)
+// proves this statically: an integer decoded from wire bytes that reaches
+// an allocation size, a slice/index expression or a loop trip count must
+// carry a finite bound derived from one of these constants (or from a
+// narrower type), so a corrupt or hostile peer can force an error but
+// never an oversized allocation. See DESIGN.md, "Hostile-input safety,
+// statically proven".
+const (
+	// maxWireParams bounds the parameter count a message header may
+	// announce. The paper's policy network has 687 parameters; 2¹⁷ leaves
+	// two orders of magnitude of headroom while capping the dense payload
+	// a hostile header can demand at 4·2¹⁷ = 512 KiB and the relay
+	// accumulator slice at 2¹⁷ entries.
+	maxWireParams = 1 << 17
+
+	// maxRelayLeaves bounds the leaf population a relay frame may claim
+	// for its subtree. It is a plausibility cap on an accounting field
+	// (the fleet sizes of the paper's setting are thousands of devices),
+	// not an allocation bound — but an absurd claim is still rejected
+	// before it can skew the weighted aggregation.
+	maxRelayLeaves = 1 << 20
+
+	// maxRelayBlock is the largest accumulator block one relay frame can
+	// make the receiver buffer: every accumulator encodes to at most
+	// nn.MaxAccumWire bytes, so a block for maxWireParams accumulators
+	// tops out below 36 MiB. readRelay enforces the per-frame form of
+	// this bound (blen ≤ count·MaxAccumWire with count ≤ maxWireParams);
+	// the constant states the closed form the analyzer derives.
+	maxRelayBlock = maxWireParams * nn.MaxAccumWire
+
+	// maxJoinCodec bounds the join frame's codec-ID field, which reuses
+	// the 32-bit count slot but must fit the one-byte codec namespace.
+	maxJoinCodec = int(^byte(0))
+)

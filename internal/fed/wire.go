@@ -62,9 +62,9 @@ const (
 
 const headerSize = 9
 
-// maxWireParams bounds the accepted parameter count to keep a corrupt or
-// hostile header from triggering a huge allocation.
-const maxWireParams = 1 << 24
+// The caps hostile header fields are checked against (maxWireParams,
+// maxRelayLeaves, maxJoinCodec, …) live in limits.go — one constants file,
+// so every decode path narrows against the same declared bounds.
 
 type message struct {
 	kind   byte
@@ -159,7 +159,7 @@ func (cs *codecState) readRelay(r *bufio.Reader, m *message, count int) (int, er
 	n += 8
 	leaves := int(binary.LittleEndian.Uint32(pre[:]))
 	blen := int(binary.LittleEndian.Uint32(pre[4:]))
-	if leaves < 1 || leaves > maxWireParams {
+	if leaves < 1 || leaves > maxRelayLeaves {
 		return n, fmt.Errorf("fed: relay leaf count %d out of range", leaves)
 	}
 	if blen < count || blen > count*nn.MaxAccumWire {
@@ -174,16 +174,16 @@ func (cs *codecState) readRelay(r *bufio.Reader, m *message, count int) (int, er
 		m.sums = make([]nn.Accum, count)
 	}
 	sums := m.sums[:count]
-	off := 0
+	rest := buf
 	for i := range sums {
-		used, err := nn.DecodeAccumInto(&sums[i], buf[off:])
+		used, err := nn.DecodeAccumInto(&sums[i], rest)
 		if err != nil {
 			return n, fmt.Errorf("fed: relay accumulator %d: %w", i, err)
 		}
-		off += used
+		rest = rest[used:]
 	}
-	if off != blen {
-		return n, fmt.Errorf("fed: relay block has %d trailing bytes", blen-off)
+	if len(rest) != 0 {
+		return n, fmt.Errorf("fed: relay block has %d trailing bytes", len(rest))
 	}
 	m.leaves, m.sums, m.params = leaves, sums, m.params[:0]
 	return n, nil
@@ -207,7 +207,7 @@ func (cs *codecState) readMessage(r *bufio.Reader, m *message) (int, error) {
 	if kind == msgJoin {
 		// The count field of a join frame carries the codec wire ID, and a
 		// join never has a payload.
-		if count > int(^byte(0)) {
+		if count > maxJoinCodec {
 			return headerSize, fmt.Errorf("fed: join codec id %d exceeds limit", count)
 		}
 		m.kind, m.round, m.codec, m.params = kind, round, byte(count), m.params[:0]

@@ -47,6 +47,30 @@ func BenchmarkPrivacyTaint(b *testing.B) {
 	}
 }
 
+// BenchmarkWireBound isolates the interval-bounds layer: module index
+// construction plus the hostile-integer fixpoint over every function body
+// and the final reporting sweep. Like the other analysis passes it is
+// ns/op-gated by scripts/benchdiff.sh (allocations scale with the module
+// under analysis, so allocs/op is exempt) — the decode-surface proof must
+// stay cheap enough to run on every test invocation.
+func BenchmarkWireBound(b *testing.B) {
+	wd, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := LoadModule(wd)
+	if err != nil {
+		b.Fatalf("load module: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod := NewModule(pkgs)
+		if diags := (WireBound{Config: DefaultWireBoundConfig()}).CheckModule(mod); len(diags) != 0 {
+			b.Fatalf("module not wirebound-clean during benchmark: %d findings", len(diags))
+		}
+	}
+}
+
 // BenchmarkEffectAnalysis isolates the effect-and-allocation layer added
 // on top of the call graph: module index construction plus the allocfree
 // proof, the maporder flow search and the slotrace write-effect pass. It

@@ -1,0 +1,1714 @@
+package lint
+
+// The guard-aware interval-bounds engine behind the wirebound analyzer
+// (wirebound.go). It tracks, for every local integer value, two intervals:
+//
+//	iv   — a bound valid over ALL executions of the program
+//	hIv  — a bound valid over the executions in which the value was
+//	       influenced by wire bytes (only meaningful when hostile is set)
+//
+// The split is what keeps shared helpers precise: a decode helper like
+// payloadSize is called both from the hostile decode path (count ≤
+// maxWireParams, attacker-chosen) and from clean encode paths (count =
+// len(params), finite but statically unbounded). A single-interval join of
+// those call sites would poison the hostile bound with the clean path's
+// unboundedness; the dual domain joins them as "unbounded in general, but
+// ≤ cap whenever an attacker steered it", which is exactly the theorem the
+// analyzer proves at sinks: a hostile value may reach an allocation size,
+// index or trip count only with a finite hIv upper bound.
+//
+// Sources are the binary.*Endian.Uint{16,32,64} reads and byte-element
+// loads inside the configured wire packages. Comparison guards narrow both
+// intervals along the dominating branch (the bound is always taken from
+// the other operand's universal iv — using its hostile bound would be
+// circular). Interprocedural flow goes through per-function summaries:
+// parameter intervals are joined over static call sites (widened with the
+// parameter type's full range for exported or address-taken functions,
+// whose callers are open-ended) and result intervals over return
+// statements, iterated to a fixed point with widening as a backstop.
+//
+// Deliberate limits, documented here and in DESIGN.md: struct fields,
+// globals and values laundered through dynamic function values are treated
+// as clean (their defaults are the type's full range, so they can never
+// fake a *proof* — they can only fail to raise a finding), and implicit
+// flows (a trip count steering an accumulator) are not tracked, matching
+// privacytaint's explicit-data-flow contract.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+const (
+	boundMin = math.MinInt64 // -∞ sentinel
+	boundMax = math.MaxInt64 // +∞ sentinel
+
+	// maxBoundPasses caps the interprocedural fixpoint; widening kicks in
+	// at boundWidenPass so convergence within the cap is guaranteed for
+	// any realistic summary churn.
+	maxBoundPasses = 10
+	boundWidenPass = 4
+
+	// maxTraceHops caps the recorded flow path of a hostile value.
+	maxTraceHops = 12
+)
+
+// interval is a closed integer range with ±∞ endpoint sentinels.
+type interval struct{ lo, hi int64 }
+
+func fullInterval() interval { return interval{boundMin, boundMax} }
+
+func (a interval) contains(b interval) bool { return a.lo <= b.lo && b.hi <= a.hi }
+
+func ivJoin(a, b interval) interval {
+	return interval{min(a.lo, b.lo), max(a.hi, b.hi)}
+}
+
+func ivMeet(a, b interval) interval {
+	return interval{max(a.lo, b.lo), min(a.hi, b.hi)}
+}
+
+// satAdd adds with saturation at the sentinels; an ∞ operand absorbs.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if a > 0 && b > 0 && s < 0 {
+		return boundMax
+	}
+	if a < 0 && b < 0 && s >= 0 {
+		return boundMin
+	}
+	if a == boundMax || b == boundMax {
+		return boundMax
+	}
+	if a == boundMin || b == boundMin {
+		return boundMin
+	}
+	return s
+}
+
+// satMul multiplies with saturation at the sentinels.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	pos := (a > 0) == (b > 0)
+	if a == boundMax || a == boundMin || b == boundMax || b == boundMin {
+		if pos {
+			return boundMax
+		}
+		return boundMin
+	}
+	p := a * b
+	if p/b != a {
+		if pos {
+			return boundMax
+		}
+		return boundMin
+	}
+	return p
+}
+
+func satShl(a int64, sh int64) int64 {
+	if a < 0 || sh < 0 {
+		return boundMax
+	}
+	if sh > 62 || a > boundMax>>uint(sh) {
+		return boundMax
+	}
+	return a << uint(sh)
+}
+
+// ivOp applies one arithmetic operator to two intervals, conservatively.
+func ivOp(op token.Token, a, b interval) interval {
+	switch op {
+	case token.ADD:
+		return interval{satAdd(a.lo, b.lo), satAdd(a.hi, b.hi)}
+	case token.SUB:
+		return interval{satAdd(a.lo, -b.hi), satAdd(a.hi, -b.lo)}
+	case token.MUL:
+		c := [4]int64{satMul(a.lo, b.lo), satMul(a.lo, b.hi), satMul(a.hi, b.lo), satMul(a.hi, b.hi)}
+		out := interval{c[0], c[0]}
+		for _, v := range c[1:] {
+			out.lo, out.hi = min(out.lo, v), max(out.hi, v)
+		}
+		return out
+	case token.QUO:
+		if b.lo >= 1 && a.lo >= 0 {
+			lo := int64(0)
+			if b.hi != boundMax {
+				lo = a.lo / b.hi
+			}
+			return interval{lo, a.hi / b.lo}
+		}
+	case token.REM:
+		if b.lo >= 1 && a.lo >= 0 {
+			hi := a.hi
+			if b.hi != boundMax {
+				hi = min(hi, b.hi-1)
+			}
+			return interval{0, hi}
+		}
+	case token.AND:
+		if a.lo >= 0 && b.lo >= 0 {
+			return interval{0, min(a.hi, b.hi)}
+		}
+	case token.OR, token.XOR:
+		if a.lo >= 0 && b.lo >= 0 {
+			hi := max(a.hi, b.hi)
+			if hi == boundMax {
+				return interval{0, boundMax}
+			}
+			n := bits.Len64(uint64(hi))
+			if n >= 63 {
+				return interval{0, boundMax}
+			}
+			return interval{0, 1<<uint(n) - 1}
+		}
+	case token.AND_NOT:
+		if a.lo >= 0 {
+			return interval{0, a.hi}
+		}
+	case token.SHR:
+		if a.lo >= 0 && b.lo >= 0 {
+			shHi := min(b.hi, 63)
+			shLo := min(b.lo, 63)
+			return interval{a.lo >> uint(shHi), a.hi >> uint(shLo)}
+		}
+	case token.SHL:
+		if a.lo >= 0 && b.lo >= 0 {
+			return interval{satShl(a.lo, b.lo), satShl(a.hi, b.hi)}
+		}
+	}
+	return fullInterval()
+}
+
+// boundVal is the abstract value of one integer expression.
+type boundVal struct {
+	iv      interval // bound over all executions
+	hostile bool     // influenced by wire bytes on some path
+	hIv     interval // bound over the wire-influenced executions
+	trace   []Hop    // source → … flow path of the hostile influence
+}
+
+// hiv returns the interval that bounds v in attacker-influenced
+// executions: hIv for hostile values, the universal iv otherwise.
+func (v boundVal) hiv() interval {
+	if v.hostile {
+		return v.hIv
+	}
+	return v.iv
+}
+
+func constVal(c int64) boundVal { return boundVal{iv: interval{c, c}} }
+
+// typeInterval is the value range of a type — the default (clean) bound of
+// anything the engine does not track more precisely.
+func typeInterval(t types.Type) interval {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return fullInterval()
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return interval{math.MinInt8, math.MaxInt8}
+	case types.Int16:
+		return interval{math.MinInt16, math.MaxInt16}
+	case types.Int32:
+		return interval{math.MinInt32, math.MaxInt32}
+	case types.Uint8:
+		return interval{0, math.MaxUint8}
+	case types.Uint16:
+		return interval{0, math.MaxUint16}
+	case types.Uint32:
+		return interval{0, math.MaxUint32}
+	case types.Uint, types.Uint64, types.Uintptr:
+		return interval{0, boundMax}
+	}
+	return fullInterval()
+}
+
+func typeDefault(t types.Type) boundVal {
+	if t == nil {
+		return boundVal{iv: fullInterval()}
+	}
+	return boundVal{iv: typeInterval(t)}
+}
+
+// isIntegerType reports whether t is a basic integer type — the only
+// values the environment tracks.
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func pickTrace(a, b []Hop) []Hop {
+	if len(a) > 0 {
+		return a
+	}
+	return b
+}
+
+// joinVal is the lattice join. A hostile side keeps its hostile bound even
+// when joined with a clean unbounded side — the heart of the dual domain.
+func joinVal(a, b boundVal) boundVal {
+	out := boundVal{iv: ivJoin(a.iv, b.iv)}
+	switch {
+	case a.hostile && b.hostile:
+		out.hostile, out.hIv, out.trace = true, ivJoin(a.hIv, b.hIv), pickTrace(a.trace, b.trace)
+	case a.hostile:
+		out.hostile, out.hIv, out.trace = true, a.hIv, a.trace
+	case b.hostile:
+		out.hostile, out.hIv, out.trace = true, b.hIv, b.trace
+	}
+	return out
+}
+
+// combine applies a binary arithmetic operator to two abstract values.
+func combine(op token.Token, a, b boundVal) boundVal {
+	out := boundVal{iv: ivOp(op, a.iv, b.iv)}
+	if a.hostile || b.hostile {
+		out.hostile = true
+		out.hIv = ivOp(op, a.hiv(), b.hiv())
+		out.trace = pickTrace(a.trace, b.trace)
+	}
+	return out
+}
+
+// convertVal models a conversion T(v): an interval already inside the
+// target type's range survives; anything wider wraps, so it widens to the
+// target's full range.
+func convertVal(v boundVal, t types.Type) boundVal {
+	if !isIntegerType(t) {
+		return typeDefault(t)
+	}
+	tIv := typeInterval(t)
+	if !tIv.contains(v.iv) {
+		v.iv = tIv
+	}
+	if v.hostile && !tIv.contains(v.hIv) {
+		v.hIv = tIv
+	}
+	return v
+}
+
+// havocVal is the widening applied to variables reassigned inside a loop:
+// the universal bound falls back to the type's range, and a previously
+// hostile value stays hostile with an unknown hostile bound.
+func havocVal(t types.Type, prev boundVal) boundVal {
+	out := typeDefault(t)
+	if prev.hostile {
+		out.hostile, out.hIv, out.trace = true, fullInterval(), prev.trace
+	}
+	return out
+}
+
+func sameVal(a, b boundVal) bool {
+	return a.iv == b.iv && a.hostile == b.hostile && (!a.hostile || a.hIv == b.hIv)
+}
+
+func appendHop(trace []Hop, pos token.Position, note string) []Hop {
+	if len(trace) >= maxTraceHops {
+		return trace
+	}
+	out := make([]Hop, len(trace), len(trace)+1)
+	copy(out, trace)
+	return append(out, Hop{Pos: pos, Note: note})
+}
+
+// benv maps local objects to their abstract values.
+type benv map[types.Object]boundVal
+
+func (e benv) clone() benv {
+	out := make(benv, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// joinEnv joins two environments derived from a common base; objects
+// scoped to only one branch are dead after the join and dropped.
+func joinEnv(a, b benv) benv {
+	out := make(benv, len(a))
+	for k, av := range a {
+		if bv, ok := b[k]; ok {
+			out[k] = joinVal(av, bv)
+		}
+	}
+	return out
+}
+
+// paramCell is one summary slot: set once the first call site (or return
+// statement) contributes a value.
+type paramCell struct {
+	v   boundVal
+	set bool
+}
+
+// fnBounds is the interprocedural summary of one declared function.
+type fnBounds struct {
+	params  []paramCell
+	results []paramCell
+	called  bool // at least one static call site contributed arguments
+	escapes bool // referenced as a value: callers are open-ended
+}
+
+// wireBoundStats counts the work of one reporting sweep, so the
+// real-module regression test can assert the proof is not vacuous.
+type wireBoundStats struct {
+	Sources    int // hostile values introduced from wire bytes
+	Narrowings int // guard refinements applied to hostile values
+	Sinks      int // sink positions checked
+}
+
+// boundFinding is one hostile-value-reaches-sink violation.
+type boundFinding struct {
+	pos  token.Position
+	expr string // source text of the sinking expression
+	sink string // what the value reaches
+	val  boundVal
+}
+
+// boundsEngine runs the whole-module analysis. Configuration is resolved
+// by the wirebound analyzer before construction.
+type boundsEngine struct {
+	mod        *Module
+	wirePkgs   map[string]bool     // packages whose wire reads are hostile
+	allocFuncs map[*types.Func]int // declared alloc helper → size arg index
+	sizeFuncs  map[string]int      // foreign FullName → length arg index
+	maxBound   int64               // largest provable hostile upper bound
+
+	sums     map[*types.Func]*fnBounds
+	findings map[string]*boundFinding
+	stats    wireBoundStats
+
+	report  bool // final sweep: record findings and stats
+	widen   bool
+	changed bool
+}
+
+func newBoundsEngine(mod *Module) *boundsEngine {
+	return &boundsEngine{
+		mod:        mod,
+		wirePkgs:   make(map[string]bool),
+		allocFuncs: make(map[*types.Func]int),
+		sizeFuncs:  make(map[string]int),
+		sums:       make(map[*types.Func]*fnBounds),
+		findings:   make(map[string]*boundFinding),
+	}
+}
+
+// run iterates the summaries to a fixed point, then performs one reporting
+// sweep with a clean findings map.
+func (e *boundsEngine) run() {
+	funcs := e.mod.Funcs()
+	for pass := 0; pass < maxBoundPasses; pass++ {
+		e.changed = false
+		e.widen = pass >= boundWidenPass
+		for _, fn := range funcs {
+			e.walkFunc(fn)
+		}
+		if !e.changed {
+			break
+		}
+	}
+	e.report = true
+	e.findings = make(map[string]*boundFinding)
+	e.stats = wireBoundStats{}
+	for _, fn := range funcs {
+		e.walkFunc(fn)
+	}
+}
+
+// sortedFindings returns the reporting sweep's findings in position order.
+func (e *boundsEngine) sortedFindings() []*boundFinding {
+	out := make([]*boundFinding, 0, len(e.findings))
+	for _, f := range e.findings {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.sink < b.sink
+	})
+	return out
+}
+
+func (e *boundsEngine) bounds(fn *types.Func) *fnBounds {
+	s := e.sums[fn]
+	if s == nil {
+		s = &fnBounds{}
+		e.sums[fn] = s
+	}
+	return s
+}
+
+// joinCell joins v into a summary cell, with widening late in the
+// fixpoint, and records whether the cell changed.
+func (e *boundsEngine) joinCell(cells []paramCell, i int, v boundVal) bool {
+	c := &cells[i]
+	if !c.set {
+		c.v, c.set = v, true
+		return true
+	}
+	next := joinVal(c.v, v)
+	if e.widen {
+		if next.iv.lo < c.v.iv.lo {
+			next.iv.lo = boundMin
+		}
+		if next.iv.hi > c.v.iv.hi {
+			next.iv.hi = boundMax
+		}
+		if next.hostile && c.v.hostile {
+			if next.hIv.lo < c.v.hIv.lo {
+				next.hIv.lo = boundMin
+			}
+			if next.hIv.hi > c.v.hIv.hi {
+				next.hIv.hi = boundMax
+			}
+		}
+	}
+	if sameVal(next, c.v) {
+		return false
+	}
+	next.trace = pickTrace(c.v.trace, next.trace)
+	c.v = next
+	return true
+}
+
+// markEscape records that fn is used as a value, so unknown callers exist.
+func (e *boundsEngine) markEscape(fn *types.Func) {
+	s := e.bounds(fn)
+	if !s.escapes {
+		s.escapes = true
+		e.changed = true
+	}
+}
+
+// paramObjs returns the declared parameter objects of an in-module
+// function, in signature order (receiver excluded, matching explicit call
+// arguments).
+func paramObjs(body *FuncBody) []types.Object {
+	var out []types.Object
+	if body.Decl.Type.Params == nil {
+		return out
+	}
+	for _, field := range body.Decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil) // unnamed parameter still occupies a slot
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, body.Pkg.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// walkFunc analyzes one function body under the current summaries.
+func (e *boundsEngine) walkFunc(fn *types.Func) {
+	body := e.mod.Body(fn)
+	if body == nil {
+		return
+	}
+	s := &funcScope{
+		eng: e,
+		pkg: body.Pkg,
+		fn:  fn,
+		env: make(benv),
+	}
+	if _, isHelper := e.allocFuncs[fn]; isHelper {
+		// A declared allocation helper IS the boundary: its call sites are
+		// checked, its body is exempt (the make inside is the point).
+		s.inAllocHelper = true
+	}
+	sum := e.bounds(fn)
+	open := fn.Exported() || sum.escapes || !sum.called
+	for i, obj := range paramObjs(body) {
+		if obj == nil || !isIntegerType(obj.Type()) {
+			continue
+		}
+		v := typeDefault(obj.Type())
+		if sum.called && i < len(sum.params) && sum.params[i].set {
+			v = sum.params[i].v
+			if open {
+				v = joinVal(v, typeDefault(obj.Type()))
+			}
+		}
+		s.env[obj] = v
+	}
+	if recv := body.Decl.Recv; recv != nil {
+		for _, field := range recv.List {
+			for _, name := range field.Names {
+				if obj := body.Pkg.Info.Defs[name]; obj != nil && isIntegerType(obj.Type()) {
+					s.env[obj] = typeDefault(obj.Type())
+				}
+			}
+		}
+	}
+	if res := body.Decl.Type.Results; res != nil {
+		for _, field := range res.List {
+			for _, name := range field.Names {
+				if obj := body.Pkg.Info.Defs[name]; obj != nil {
+					s.resultObjs = append(s.resultObjs, obj)
+					if isIntegerType(obj.Type()) {
+						s.env[obj] = constVal(0)
+					}
+				}
+			}
+		}
+	}
+	s.walkBlock(body.Decl.Body)
+}
+
+// setResults joins one return statement's values into fn's result summary.
+func (e *boundsEngine) setResults(fn *types.Func, vals []boundVal, pos token.Position) {
+	sum := e.bounds(fn)
+	if len(sum.results) < len(vals) {
+		sum.results = append(sum.results, make([]paramCell, len(vals)-len(sum.results))...)
+	}
+	for i, v := range vals {
+		if v.hostile {
+			v.trace = appendHop(v.trace, pos, fmt.Sprintf("returned from %s", fn.Name()))
+		}
+		if e.joinCell(sum.results, i, v) {
+			e.changed = true
+		}
+	}
+}
+
+// resultVal reads one result slot of a callee's summary; unknown slots
+// default to the declared result type's range.
+func (e *boundsEngine) resultVal(fn *types.Func, i int) (boundVal, bool) {
+	sum := e.sums[fn]
+	if sum == nil || i >= len(sum.results) || !sum.results[i].set {
+		return boundVal{}, false
+	}
+	return sum.results[i].v, true
+}
+
+// funcScope walks one function body, maintaining the abstract environment.
+type funcScope struct {
+	eng *boundsEngine
+	pkg *Package
+	fn  *types.Func
+	env benv
+
+	resultObjs    []types.Object // named results, for naked returns
+	inAllocHelper bool
+	terminated    bool // current path ended in return/panic
+}
+
+func (s *funcScope) pos(n ast.Node) token.Position { return s.pkg.Fset.Position(n.Pos()) }
+
+func (s *funcScope) walkBlock(b *ast.BlockStmt) {
+	for _, st := range b.List {
+		if s.terminated {
+			return
+		}
+		s.walkStmt(st)
+	}
+}
+
+func (s *funcScope) walkStmt(st ast.Stmt) {
+	switch x := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			s.eval(call)
+			if builtinName(s.pkg, call) == "panic" {
+				s.terminated = true
+			}
+			return
+		}
+		s.eval(x.X)
+	case *ast.AssignStmt:
+		s.walkAssign(x)
+	case *ast.IncDecStmt:
+		op := token.ADD
+		if x.Tok == token.DEC {
+			op = token.SUB
+		}
+		v := combine(op, s.eval(x.X), constVal(1))
+		s.assign(x.X, v, false)
+	case *ast.DeclStmt:
+		s.walkDecl(x)
+	case *ast.ReturnStmt:
+		s.walkReturn(x)
+	case *ast.IfStmt:
+		s.walkIf(x)
+	case *ast.ForStmt:
+		s.walkFor(x)
+	case *ast.RangeStmt:
+		s.walkRange(x)
+	case *ast.SwitchStmt:
+		s.walkSwitch(x)
+	case *ast.TypeSwitchStmt:
+		s.walkTypeSwitch(x)
+	case *ast.SelectStmt:
+		s.walkSelect(x)
+	case *ast.BlockStmt:
+		s.walkBlock(x)
+	case *ast.LabeledStmt:
+		s.walkStmt(x.Stmt)
+	case *ast.GoStmt:
+		s.eval(x.Call)
+	case *ast.DeferStmt:
+		s.eval(x.Call)
+	case *ast.SendStmt:
+		s.eval(x.Chan)
+		s.eval(x.Value)
+	case *ast.BranchStmt:
+		// break/continue/goto are deliberately NOT path-terminating: their
+		// environments conservatively join into the fall-through, so an
+		// assignment before a break can never be lost. The cost is that a
+		// `if bad { break }` guard narrows nothing — guards in this module
+		// use error returns, which do terminate.
+	}
+}
+
+func (s *funcScope) walkDecl(d *ast.DeclStmt) {
+	gd, ok := d.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		switch {
+		case len(vs.Values) == len(vs.Names):
+			for i, name := range vs.Names {
+				v := s.eval(vs.Values[i])
+				s.assignIdent(name, v, true)
+			}
+		case len(vs.Values) == 0:
+			for _, name := range vs.Names {
+				if obj := s.pkg.Info.Defs[name]; obj != nil && isIntegerType(obj.Type()) {
+					s.env[obj] = constVal(0) // zero value
+				}
+			}
+		case len(vs.Values) == 1:
+			vals := s.evalMulti(vs.Values[0], len(vs.Names))
+			for i, name := range vs.Names {
+				s.assignIdent(name, vals[i], true)
+			}
+		}
+	}
+}
+
+func (s *funcScope) walkAssign(a *ast.AssignStmt) {
+	if a.Tok != token.ASSIGN && a.Tok != token.DEFINE {
+		// Compound assignment: x op= y.
+		ops := map[token.Token]token.Token{
+			token.ADD_ASSIGN: token.ADD, token.SUB_ASSIGN: token.SUB,
+			token.MUL_ASSIGN: token.MUL, token.QUO_ASSIGN: token.QUO,
+			token.REM_ASSIGN: token.REM, token.AND_ASSIGN: token.AND,
+			token.OR_ASSIGN: token.OR, token.XOR_ASSIGN: token.XOR,
+			token.SHL_ASSIGN: token.SHL, token.SHR_ASSIGN: token.SHR,
+			token.AND_NOT_ASSIGN: token.AND_NOT,
+		}
+		v := combine(ops[a.Tok], s.eval(a.Lhs[0]), s.eval(a.Rhs[0]))
+		s.assign(a.Lhs[0], v, false)
+		return
+	}
+	if len(a.Rhs) == len(a.Lhs) {
+		vals := make([]boundVal, len(a.Rhs))
+		for i, r := range a.Rhs {
+			vals[i] = s.eval(r)
+		}
+		for i, l := range a.Lhs {
+			s.assign(l, vals[i], a.Tok == token.DEFINE)
+		}
+		return
+	}
+	// x, y := f()  /  v, ok := m[k]  /  v, ok := <-ch  /  v, ok := x.(T)
+	vals := s.evalMulti(a.Rhs[0], len(a.Lhs))
+	for i, l := range a.Lhs {
+		s.assign(l, vals[i], a.Tok == token.DEFINE)
+	}
+}
+
+// evalMulti evaluates an expression in a context expecting n values.
+func (s *funcScope) evalMulti(expr ast.Expr, n int) []boundVal {
+	out := make([]boundVal, n)
+	if call, ok := ast.Unparen(expr).(*ast.CallExpr); ok {
+		res := s.evalCall(call)
+		copy(out, res)
+		for i := len(res); i < n; i++ {
+			out[i] = boundVal{iv: fullInterval()}
+		}
+		return out
+	}
+	s.eval(expr)
+	// Map/channel/type-assert comma-ok forms: value by type, ok clean.
+	if t := exprType(s.pkg, expr); t != nil && n > 0 {
+		out[0] = typeDefault(t)
+	}
+	for i := range out {
+		if out[i].iv == (interval{}) {
+			out[i] = boundVal{iv: fullInterval()}
+		}
+	}
+	return out
+}
+
+func (s *funcScope) assign(lhs ast.Expr, v boundVal, define bool) {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		s.assignIdent(x, v, define)
+	case *ast.IndexExpr:
+		s.eval(x.X)
+		idx := s.eval(x.Index)
+		s.checkIndex(x, idx)
+	case *ast.StarExpr, *ast.SelectorExpr:
+		// Stores through pointers and into fields are untracked: later
+		// reads see the clean type default (documented limitation).
+		s.eval(x)
+	}
+}
+
+func (s *funcScope) assignIdent(id *ast.Ident, v boundVal, define bool) {
+	if id.Name == "_" {
+		return
+	}
+	var obj types.Object
+	if define {
+		obj = s.pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		obj = s.pkg.Info.Uses[id]
+	}
+	if obj == nil || !isIntegerType(obj.Type()) {
+		return
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	v = convertVal(v, obj.Type())
+	if v.hostile {
+		v.trace = appendHop(v.trace, s.pos(id), fmt.Sprintf("into %s", id.Name))
+	}
+	s.env[obj] = v
+}
+
+func (s *funcScope) walkReturn(r *ast.ReturnStmt) {
+	var vals []boundVal
+	sig := s.fn.Type().(*types.Signature)
+	switch {
+	case len(r.Results) == 0:
+		for _, obj := range s.resultObjs {
+			if v, ok := s.env[obj]; ok {
+				vals = append(vals, v)
+			} else {
+				vals = append(vals, typeDefault(obj.Type()))
+			}
+		}
+	case len(r.Results) == 1 && sig.Results().Len() > 1:
+		vals = s.evalMulti(r.Results[0], sig.Results().Len())
+	default:
+		for _, res := range r.Results {
+			vals = append(vals, s.eval(res))
+		}
+	}
+	s.eng.setResults(s.fn, vals, s.pos(r))
+	s.terminated = true
+}
+
+func (s *funcScope) walkIf(x *ast.IfStmt) {
+	if x.Init != nil {
+		s.walkStmt(x.Init)
+	}
+	s.eval(x.Cond) // evaluate once for call-site propagation and sinks
+	base := s.env
+	s.env = base.clone()
+	s.applyCond(x.Cond, false)
+	s.walkBlock(x.Body)
+	thenEnv, thenTerm := s.env, s.terminated
+	s.terminated = false
+	s.env = base.clone()
+	s.applyCond(x.Cond, true)
+	elseTerm := false
+	if x.Else != nil {
+		s.walkStmt(x.Else)
+		elseTerm = s.terminated
+		s.terminated = false
+	}
+	elseEnv := s.env
+	switch {
+	case thenTerm && elseTerm:
+		s.env = elseEnv
+		s.terminated = true
+	case thenTerm:
+		s.env = elseEnv
+	case elseTerm:
+		s.env = thenEnv
+	default:
+		s.env = joinEnv(thenEnv, elseEnv)
+	}
+}
+
+func (s *funcScope) walkFor(x *ast.ForStmt) {
+	if x.Init != nil {
+		s.walkStmt(x.Init)
+	}
+	entry := s.env.clone()
+	assigned := s.assignedObjs(x.Body, x.Post)
+	s.havoc(assigned)
+	if x.Cond != nil {
+		s.eval(x.Cond)
+		s.checkTripCount(x.Cond, assigned)
+		s.applyCond(x.Cond, false)
+	}
+	s.walkBlock(x.Body)
+	s.terminated = false
+	if x.Post != nil {
+		s.walkStmt(x.Post)
+	}
+	// After the loop: the entry environment with every loop-assigned
+	// object widened. (Refining with ¬cond would be unsound for
+	// break-exits, so we do not.)
+	s.env = entry
+	s.havoc(assigned)
+}
+
+func (s *funcScope) walkRange(x *ast.RangeStmt) {
+	rangedVal := s.eval(x.X)
+	if t := exprType(s.pkg, x.X); t != nil && isIntegerType(t) {
+		// Range-over-int: the ranged expression is the trip count.
+		s.checkSink(x.X, rangedVal, "a loop trip count")
+	}
+	entry := s.env.clone()
+	assigned := s.assignedObjs(x.Body, nil)
+	if x.Key != nil {
+		if id, ok := x.Key.(*ast.Ident); ok {
+			if obj := s.objOf(id); obj != nil {
+				assigned[obj] = true
+			}
+		}
+	}
+	if x.Value != nil {
+		if id, ok := x.Value.(*ast.Ident); ok {
+			if obj := s.objOf(id); obj != nil {
+				assigned[obj] = true
+			}
+		}
+	}
+	s.havoc(assigned)
+	if x.Key != nil {
+		s.assign(x.Key, boundVal{iv: interval{0, boundMax}}, x.Tok == token.DEFINE)
+	}
+	if x.Value != nil {
+		v := typeDefault(exprType(s.pkg, x.Value))
+		if s.eng.wirePkgs[s.pkg.Path] && isByteSeq(exprType(s.pkg, x.X)) {
+			v = s.hostileByte(x.Value, "wire byte read: range over "+boundExprText(x.X))
+		}
+		s.assign(x.Value, v, x.Tok == token.DEFINE)
+	}
+	s.walkBlock(x.Body)
+	s.terminated = false
+	s.env = entry
+	s.havoc(assigned)
+}
+
+func (s *funcScope) walkSwitch(x *ast.SwitchStmt) {
+	if x.Init != nil {
+		s.walkStmt(x.Init)
+	}
+	if x.Tag != nil {
+		s.eval(x.Tag)
+	}
+	s.walkCases(x.Body, func(cc *ast.CaseClause) {
+		for _, e := range cc.List {
+			s.eval(e)
+		}
+	})
+}
+
+func (s *funcScope) walkTypeSwitch(x *ast.TypeSwitchStmt) {
+	if x.Init != nil {
+		s.walkStmt(x.Init)
+	}
+	s.walkCases(x.Body, nil)
+}
+
+// walkCases walks every case clause of a switch on a clone of the entry
+// environment and joins the surviving exits; without a default clause the
+// entry environment itself survives too.
+func (s *funcScope) walkCases(body *ast.BlockStmt, evalCase func(*ast.CaseClause)) {
+	entry := s.env.clone()
+	var exits []benv
+	hasDefault := false
+	for _, st := range body.List {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		s.env = entry.clone()
+		s.terminated = false
+		if evalCase != nil {
+			evalCase(cc)
+		}
+		for _, cs := range cc.Body {
+			if s.terminated {
+				break
+			}
+			s.walkStmt(cs)
+		}
+		if !s.terminated {
+			exits = append(exits, s.env)
+		}
+	}
+	s.terminated = false
+	if !hasDefault {
+		exits = append(exits, entry)
+	}
+	if len(exits) == 0 {
+		s.env = entry
+		s.terminated = true
+		return
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = joinEnv(out, e)
+	}
+	s.env = out
+}
+
+func (s *funcScope) walkSelect(x *ast.SelectStmt) {
+	entry := s.env.clone()
+	var exits []benv
+	for _, st := range x.Body.List {
+		cc, ok := st.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		s.env = entry.clone()
+		s.terminated = false
+		if cc.Comm != nil {
+			s.walkStmt(cc.Comm)
+		}
+		for _, cs := range cc.Body {
+			if s.terminated {
+				break
+			}
+			s.walkStmt(cs)
+		}
+		if !s.terminated {
+			exits = append(exits, s.env)
+		}
+	}
+	s.terminated = false
+	if len(exits) == 0 {
+		s.env = entry
+		return
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = joinEnv(out, e)
+	}
+	s.env = out
+}
+
+// assignedObjs collects every tracked object assigned anywhere in the
+// given statements — the set a loop iteration may change.
+func (s *funcScope) assignedObjs(stmts ...ast.Stmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := s.objOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	for _, st := range stmts {
+		if st == nil {
+			continue
+		}
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, l := range x.Lhs {
+					record(l)
+				}
+			case *ast.IncDecStmt:
+				record(x.X)
+			case *ast.RangeStmt:
+				if x.Key != nil {
+					record(x.Key)
+				}
+				if x.Value != nil {
+					record(x.Value)
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					record(x.X) // address taken: may be written through
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (s *funcScope) objOf(id *ast.Ident) types.Object {
+	obj := s.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = s.pkg.Info.Uses[id]
+	}
+	if obj == nil || !isIntegerType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+func (s *funcScope) havoc(objs map[types.Object]bool) {
+	for obj := range objs {
+		prev, ok := s.env[obj]
+		if !ok {
+			prev = typeDefault(obj.Type())
+		}
+		s.env[obj] = havocVal(obj.Type(), prev)
+	}
+}
+
+// checkTripCount flags hostile unbounded loop-condition operands that the
+// loop itself does not assign (the induction variable is expected to be
+// havocked; the bound it runs to is not).
+func (s *funcScope) checkTripCount(cond ast.Expr, assigned map[types.Object]bool) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+		default:
+			return true
+		}
+		for _, operand := range []ast.Expr{be.X, be.Y} {
+			id, ok := ast.Unparen(operand).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := s.objOf(id)
+			if obj == nil || assigned[obj] {
+				continue
+			}
+			if v, ok := s.env[obj]; ok {
+				s.checkSink(operand, v, "a loop trip count")
+			}
+		}
+		return true
+	})
+}
+
+// ---- expression evaluation ----
+
+func (s *funcScope) eval(expr ast.Expr) boundVal {
+	expr = ast.Unparen(expr)
+	if expr == nil {
+		return boundVal{iv: fullInterval()}
+	}
+	// Constants first: the type checker folded them for us.
+	if tv, ok := s.pkg.Info.Types[expr]; ok && tv.Value != nil {
+		if c, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return constVal(c)
+		}
+		return boundVal{iv: fullInterval()}
+	}
+	switch x := expr.(type) {
+	case *ast.Ident:
+		if obj := s.pkg.Info.Uses[x]; obj != nil {
+			if fn, ok := obj.(*types.Func); ok && s.eng.mod.Body(fn) != nil {
+				s.eng.markEscape(fn)
+			}
+			if v, ok := s.env[obj]; ok {
+				return v
+			}
+			return typeDefault(obj.Type())
+		}
+	case *ast.BinaryExpr:
+		a, b := s.eval(x.X), s.eval(x.Y)
+		switch x.Op {
+		case token.LAND, token.LOR, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return boundVal{iv: fullInterval()} // boolean
+		}
+		return combine(x.Op, a, b)
+	case *ast.UnaryExpr:
+		v := s.eval(x.X)
+		switch x.Op {
+		case token.SUB:
+			return combine(token.SUB, constVal(0), v)
+		case token.ADD:
+			return v
+		}
+		return boundVal{iv: fullInterval()}
+	case *ast.CallExpr:
+		res := s.evalCall(x)
+		if len(res) > 0 {
+			return res[0]
+		}
+		return boundVal{iv: fullInterval()}
+	case *ast.IndexExpr:
+		return s.evalIndex(x)
+	case *ast.IndexListExpr:
+		s.eval(x.X) // generic instantiation
+	case *ast.SliceExpr:
+		s.eval(x.X)
+		for _, idx := range []ast.Expr{x.Low, x.High, x.Max} {
+			if idx == nil {
+				continue
+			}
+			v := s.eval(idx)
+			s.checkSink(idx, v, "a slice bound")
+		}
+	case *ast.SelectorExpr:
+		return s.evalSelector(x)
+	case *ast.StarExpr:
+		s.eval(x.X)
+		return typeDefault(exprType(s.pkg, expr))
+	case *ast.TypeAssertExpr:
+		s.eval(x.X)
+		return typeDefault(exprType(s.pkg, expr))
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				s.eval(kv.Value)
+				continue
+			}
+			s.eval(el)
+		}
+	case *ast.KeyValueExpr:
+		s.eval(x.Value)
+	case *ast.FuncLit:
+		// Closures see the surrounding locals; walk the body on a clone so
+		// sinks inside are checked without perturbing this path's state.
+		saved, savedTerm := s.env, s.terminated
+		s.env, s.terminated = s.env.clone(), false
+		s.walkBlock(x.Body)
+		s.env, s.terminated = saved, savedTerm
+	}
+	return typeDefault(exprType(s.pkg, expr))
+}
+
+func (s *funcScope) evalIndex(x *ast.IndexExpr) boundVal {
+	// A generic instantiation parses as an IndexExpr; its "index" is a
+	// type, not a value.
+	if tv, ok := s.pkg.Info.Types[x.Index]; ok && tv.IsType() {
+		s.eval(x.X)
+		return typeDefault(exprType(s.pkg, x))
+	}
+	s.eval(x.X)
+	idx := s.eval(x.Index)
+	xt := exprType(s.pkg, x.X)
+	if xt != nil {
+		if _, isMap := xt.Underlying().(*types.Map); isMap {
+			return typeDefault(exprType(s.pkg, x)) // map keys are not offsets
+		}
+	}
+	s.checkIndex(x, idx)
+	if s.eng.wirePkgs[s.pkg.Path] && isByteSeq(xt) {
+		return s.hostileByte(x, "wire byte read: "+boundExprText(x))
+	}
+	return typeDefault(exprType(s.pkg, x))
+}
+
+func (s *funcScope) checkIndex(x *ast.IndexExpr, idx boundVal) {
+	s.checkSink(x.Index, idx, "an index expression")
+}
+
+func (s *funcScope) evalSelector(x *ast.SelectorExpr) boundVal {
+	if obj := s.pkg.Info.Uses[x.Sel]; obj != nil {
+		if fn, ok := obj.(*types.Func); ok && s.eng.mod.Body(fn) != nil {
+			s.eng.markEscape(fn) // method value / qualified func used as value
+		}
+	}
+	if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+		if _, isPkg := s.pkg.Info.Uses[id].(*types.PkgName); isPkg {
+			return typeDefault(exprType(s.pkg, x))
+		}
+	}
+	s.eval(x.X)
+	// Field reads are untracked: the clean type default.
+	return typeDefault(exprType(s.pkg, x))
+}
+
+func (s *funcScope) hostileByte(at ast.Node, note string) boundVal {
+	if s.eng.report {
+		s.eng.stats.Sources++
+	}
+	return boundVal{
+		iv:      interval{0, 255},
+		hostile: true,
+		hIv:     interval{0, 255},
+		trace:   []Hop{{Pos: s.pos(at), Note: note}},
+	}
+}
+
+// evalCall evaluates a call expression, returning one abstract value per
+// result. It is where sources (binary reads), sinks (allocation sizes,
+// foreign length arguments) and interprocedural propagation live.
+func (s *funcScope) evalCall(call *ast.CallExpr) []boundVal {
+	pkg := s.pkg
+	// Conversion: T(x).
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return []boundVal{convertVal(s.eval(call.Args[0]), tv.Type)}
+		}
+		return []boundVal{typeDefault(tv.Type)}
+	}
+	// Builtins.
+	if name := builtinName(pkg, call); name != "" {
+		return []boundVal{s.evalBuiltin(name, call)}
+	}
+	fn, iface := s.eng.mod.StaticCallee(pkg, call)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		s.eval(sel.X) // receiver (or package qualifier, harmless) side effects
+	}
+	args := make([]boundVal, len(call.Args))
+	for i, a := range call.Args {
+		args[i] = s.eval(a)
+	}
+	resultTypes := callResults(pkg, call)
+	defaults := make([]boundVal, len(resultTypes))
+	for i, t := range resultTypes {
+		defaults[i] = typeDefault(t)
+	}
+	if fn == nil {
+		return defaults
+	}
+	// Wire source: binary.{Little,Big}Endian.UintN inside a wire package.
+	if v, ok := s.binarySource(fn, call); ok {
+		return []boundVal{v}
+	}
+	// Foreign size-taking functions are sinks at the call site.
+	if idx, ok := s.eng.sizeFuncs[fn.FullName()]; ok && idx < len(args) {
+		s.checkSink(call.Args[idx], args[idx], fmt.Sprintf("the length argument of %s", fn.FullName()))
+	}
+	if iface {
+		impls := s.eng.mod.Implementations(fn)
+		out := defaults
+		for _, impl := range impls {
+			s.propagate(impl, call, args)
+			for i := range out {
+				if rv, ok := s.eng.resultVal(impl, i); ok {
+					out[i] = joinVal(out[i], rv)
+				}
+			}
+		}
+		return out
+	}
+	if s.eng.mod.Body(fn) == nil {
+		return defaults
+	}
+	// Declared allocation helpers: the size argument is a sink here, at
+	// the call site — the boundary the helper's body is exempt from.
+	if idx, ok := s.eng.allocFuncs[fn]; ok && idx < len(args) {
+		s.checkSink(call.Args[idx], args[idx], fmt.Sprintf("the size argument of allocation helper %s", fn.Name()))
+	}
+	s.propagate(fn, call, args)
+	out := defaults
+	for i := range out {
+		if rv, ok := s.eng.resultVal(fn, i); ok {
+			v := rv
+			// The universal bound of a result is still clamped by its
+			// declared type.
+			v = convertVal(v, resultTypes[i])
+			out[i] = v
+		}
+	}
+	return out
+}
+
+func (s *funcScope) evalBuiltin(name string, call *ast.CallExpr) boundVal {
+	switch name {
+	case "len", "cap":
+		for _, a := range call.Args {
+			s.eval(a)
+		}
+		// Memory-backed lengths are finite by construction and never
+		// attacker-chosen beyond what an already-checked allocation
+		// admitted: clean.
+		return boundVal{iv: interval{0, boundMax}}
+	case "make":
+		if len(call.Args) > 0 {
+			s.eval(call.Args[0])
+		}
+		for _, a := range call.Args[1:] {
+			v := s.eval(a)
+			s.checkSink(a, v, "an allocation size (make)")
+		}
+		return typeDefault(exprType(s.pkg, call))
+	case "min", "max":
+		if len(call.Args) == 0 {
+			return boundVal{iv: fullInterval()}
+		}
+		out := s.eval(call.Args[0])
+		for _, a := range call.Args[1:] {
+			v := s.eval(a)
+			merged := boundVal{}
+			if name == "min" {
+				merged.iv = interval{min(out.iv.lo, v.iv.lo), min(out.iv.hi, v.iv.hi)}
+			} else {
+				merged.iv = interval{max(out.iv.lo, v.iv.lo), max(out.iv.hi, v.iv.hi)}
+			}
+			if out.hostile || v.hostile {
+				merged.hostile = true
+				a, b := out.hiv(), v.hiv()
+				if name == "min" {
+					merged.hIv = interval{min(a.lo, b.lo), min(a.hi, b.hi)}
+				} else {
+					merged.hIv = interval{max(a.lo, b.lo), max(a.hi, b.hi)}
+				}
+				merged.trace = pickTrace(out.trace, v.trace)
+			}
+			out = merged
+		}
+		return out
+	case "panic":
+		for _, a := range call.Args {
+			s.eval(a)
+		}
+		return boundVal{iv: fullInterval()}
+	default:
+		for _, a := range call.Args {
+			s.eval(a)
+		}
+		return typeDefault(exprType(s.pkg, call))
+	}
+}
+
+// binarySource recognises binary.{Little,Big}Endian.Uint{16,32,64} calls
+// inside a configured wire package and returns the hostile read value.
+func (s *funcScope) binarySource(fn *types.Func, call *ast.CallExpr) (boundVal, bool) {
+	if !s.eng.wirePkgs[s.pkg.Path] {
+		return boundVal{}, false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+		return boundVal{}, false
+	}
+	var iv interval
+	switch fn.Name() {
+	case "Uint16":
+		iv = interval{0, math.MaxUint16}
+	case "Uint32":
+		iv = interval{0, math.MaxUint32}
+	case "Uint64":
+		iv = interval{0, boundMax}
+	default:
+		return boundVal{}, false
+	}
+	if s.eng.report {
+		s.eng.stats.Sources++
+	}
+	note := fmt.Sprintf("wire read: binary.%s(%s)", fn.Name(), boundExprText(call.Args[0]))
+	return boundVal{
+		iv:      iv,
+		hostile: true,
+		hIv:     iv,
+		trace:   []Hop{{Pos: s.pos(call), Note: note}},
+	}, true
+}
+
+// propagate joins the call's arguments into the callee's parameter
+// summary, stamping a call hop onto hostile flows.
+func (s *funcScope) propagate(fn *types.Func, call *ast.CallExpr, args []boundVal) {
+	body := s.eng.mod.Body(fn)
+	if body == nil {
+		return
+	}
+	params := paramObjs(body)
+	sum := s.eng.bounds(fn)
+	if !sum.called {
+		sum.called = true
+		s.eng.changed = true
+	}
+	if len(sum.params) < len(params) {
+		sum.params = append(sum.params, make([]paramCell, len(params)-len(sum.params))...)
+	}
+	sig := fn.Type().(*types.Signature)
+	n := min(len(args), len(params))
+	if sig.Variadic() && len(params) > 0 {
+		// The variadic slot collects a slice, not our scalar: default it.
+		n = min(n, len(params)-1)
+		s.eng.joinCell(sum.params, len(params)-1, boundVal{iv: fullInterval()})
+	}
+	for i := 0; i < n; i++ {
+		v := args[i]
+		if params[i] != nil && !isIntegerType(params[i].Type()) {
+			continue
+		}
+		if v.hostile {
+			pname := fmt.Sprintf("#%d", i)
+			if params[i] != nil {
+				pname = params[i].Name()
+			}
+			v.trace = appendHop(v.trace, s.pos(call), fmt.Sprintf("passed to %s (param %s)", fn.Name(), pname))
+		}
+		if s.eng.joinCell(sum.params, i, v) {
+			s.eng.changed = true
+		}
+	}
+}
+
+// ---- guard refinement ----
+
+// applyCond refines the environment with the knowledge that cond evaluated
+// to !negate on the current path.
+func (s *funcScope) applyCond(cond ast.Expr, negate bool) {
+	cond = ast.Unparen(cond)
+	switch x := cond.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			s.applyCond(x.X, !negate)
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			if !negate { // a && b true: both hold
+				s.applyCond(x.X, false)
+				s.applyCond(x.Y, false)
+			}
+		case token.LOR:
+			if negate { // !(a || b): both negations hold
+				s.applyCond(x.X, true)
+				s.applyCond(x.Y, true)
+			}
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			op := x.Op
+			if negate {
+				op = negateCmp(op)
+			}
+			s.refine(x.X, op, x.Y)
+			s.refine(x.Y, swapCmp(op), x.X)
+		}
+	}
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return op
+}
+
+func swapCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.GTR:
+		return token.LSS
+	case token.LEQ:
+		return token.GEQ
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op // EQL and NEQ are symmetric
+}
+
+// refinable decomposes a comparison operand into a tracked object plus a
+// constant offset: x, x+c, c+x and x-c all refine x.
+func (s *funcScope) refinable(e ast.Expr) (types.Object, int64) {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := s.objOf(id); obj != nil {
+			return obj, 0
+		}
+		return nil, 0
+	}
+	be, ok := e.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.ADD && be.Op != token.SUB) {
+		return nil, 0
+	}
+	constOf := func(e ast.Expr) (int64, bool) {
+		if tv, ok := s.pkg.Info.Types[e]; ok && tv.Value != nil {
+			if c, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+				return c, true
+			}
+		}
+		return 0, false
+	}
+	if id, ok := ast.Unparen(be.X).(*ast.Ident); ok {
+		if c, isC := constOf(be.Y); isC {
+			if obj := s.objOf(id); obj != nil {
+				if be.Op == token.SUB {
+					return obj, -c
+				}
+				return obj, c
+			}
+		}
+	}
+	if be.Op == token.ADD {
+		if id, ok := ast.Unparen(be.Y).(*ast.Ident); ok {
+			if c, isC := constOf(be.X); isC {
+				if obj := s.objOf(id); obj != nil {
+					return obj, c
+				}
+			}
+		}
+	}
+	return nil, 0
+}
+
+// refine narrows target's interval given `target op bound` holds. The
+// narrowing bound always comes from the other operand's UNIVERSAL
+// interval — its hostile bound would only hold on hostile paths, which is
+// not a fact about this comparison.
+func (s *funcScope) refine(target ast.Expr, op token.Token, bound ast.Expr) {
+	obj, delta := s.refinable(target)
+	if obj == nil {
+		return
+	}
+	cur, ok := s.env[obj]
+	if !ok {
+		return
+	}
+	bv := s.eval(bound)
+	cons := fullInterval() // constraint on target = obj + delta
+	switch op {
+	case token.LSS:
+		cons.hi = satAdd(bv.iv.hi, -1)
+	case token.LEQ:
+		cons.hi = bv.iv.hi
+	case token.GTR:
+		cons.lo = satAdd(bv.iv.lo, 1)
+	case token.GEQ:
+		cons.lo = bv.iv.lo
+	case token.EQL:
+		cons = bv.iv
+	default: // NEQ narrows nothing representable
+		return
+	}
+	// Shift the constraint from target back to obj: obj = target - delta.
+	cons = interval{satAdd(cons.lo, -delta), satAdd(cons.hi, -delta)}
+	next := cur
+	next.iv = ivMeet(next.iv, cons)
+	if next.hostile {
+		narrowed := ivMeet(next.hIv, cons)
+		if s.eng.report && narrowed != next.hIv {
+			s.eng.stats.Narrowings++
+		}
+		next.hIv = narrowed
+	}
+	s.env[obj] = next
+}
+
+// ---- sinks ----
+
+// checkSink records a finding when a hostile value reaches a
+// size/index/trip-count position without a finite proven bound.
+func (s *funcScope) checkSink(arg ast.Expr, v boundVal, sink string) {
+	if s.inAllocHelper {
+		return
+	}
+	if s.eng.report {
+		s.eng.stats.Sinks++
+	}
+	if !v.hostile {
+		return
+	}
+	if v.hIv.hi != boundMax && v.hIv.hi <= s.eng.maxBound {
+		return
+	}
+	if !s.eng.report {
+		return
+	}
+	pos := s.pos(arg)
+	key := fmt.Sprintf("%s:%d:%d|%s", pos.Filename, pos.Line, pos.Column, sink)
+	s.eng.findings[key] = &boundFinding{
+		pos:  pos,
+		expr: boundExprText(arg),
+		sink: sink,
+		val:  v,
+	}
+}
+
+// callResults returns the result types of a call expression.
+func callResults(pkg *Package, call *ast.CallExpr) []types.Type {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		out := make([]types.Type, tuple.Len())
+		for i := 0; i < tuple.Len(); i++ {
+			out[i] = tuple.At(i).Type()
+		}
+		return out
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.Invalid {
+		return nil
+	}
+	if tv.Type.String() == "()" {
+		return nil
+	}
+	return []types.Type{tv.Type}
+}
+
+// isByteSeq reports whether t is a byte sequence a wire read indexes into:
+// a byte slice, byte array, or pointer to byte array.
+func isByteSeq(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isByteKind(u.Elem())
+	case *types.Array:
+		return isByteKind(u.Elem())
+	case *types.Pointer:
+		if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+			return isByteKind(arr.Elem())
+		}
+	}
+	return false
+}
+
+func isByteKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// boundExprText renders a short source name for messages, extending
+// exprText with call rendering.
+func boundExprText(e ast.Expr) string {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		return boundExprText(call.Fun) + "(…)"
+	}
+	if be, ok := ast.Unparen(e).(*ast.BinaryExpr); ok {
+		return boundExprText(be.X) + " " + be.Op.String() + " " + boundExprText(be.Y)
+	}
+	if lit, ok := ast.Unparen(e).(*ast.BasicLit); ok {
+		return lit.Value
+	}
+	return exprText(e)
+}

@@ -88,6 +88,7 @@ func DefaultSuite() []Analyzer {
 		FloatEq{},
 		GoLaunch{},
 		PrivacyTaint{Config: DefaultPrivacyConfig()},
+		WireBound{Config: DefaultWireBoundConfig()},
 		AllocFree{},
 		MapOrder{},
 		SlotRace{ForEach: DefaultSlotRaceConfig()},

@@ -1,0 +1,8 @@
+// Package buf is the fixture module's allocation-helper package: Build is
+// configured as a declared wirebound allocation helper, so its call sites
+// are the sinks and its own body is exempt — mirroring the real module's
+// codecState.growScratch.
+package buf
+
+// Build allocates a frame buffer of n bytes.
+func Build(n int) []byte { return make([]byte, n) }

@@ -1,0 +1,3 @@
+module wiremod
+
+go 1.22

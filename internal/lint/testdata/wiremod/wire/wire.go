@@ -1,0 +1,124 @@
+// Package wire plants the wirebound fixture cases: hostile header fields
+// reaching allocations, indexes, loop trip counts and foreign length
+// arguments — each violation next to a clean, properly guarded
+// counterpart. The fixture config declares buf.Build as the allocation
+// helper and 1<<16 as the largest provable bound, so maxFrame-guarded
+// values prove and raw header fields do not.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+
+	"wiremod/buf"
+)
+
+// maxFrame is the fixture's declared cap: every clean counterpart narrows
+// against it before use.
+const maxFrame = 4096
+
+var errFrame = errors.New("wire: frame too large")
+
+// frames counts oversized headers; the wrong-branch case bumps it instead
+// of rejecting.
+var frames int
+
+// ReadHeader decodes the frame length field — the hostile source every
+// case below starts from.
+func ReadHeader(hdr []byte) int {
+	return int(binary.LittleEndian.Uint32(hdr))
+}
+
+// parse is the middle hop of the three-call chain.
+func parse(hdr []byte) int {
+	n := ReadHeader(hdr)
+	return n
+}
+
+// Alloc feeds the unguarded header field to the declared allocation
+// helper, three calls from the wire read and across a package boundary.
+func Alloc(hdr []byte) []byte {
+	return buf.Build(parse(hdr)) // want: wirebound (helper call site)
+}
+
+// Alloc64 reads a 64-bit length, which no integer type can bound: the
+// finding reports "no finite upper bound" rather than an oversized one.
+func Alloc64(hdr []byte) []byte {
+	return buf.Build(int(binary.LittleEndian.Uint64(hdr))) // want: wirebound (no finite bound)
+}
+
+// AllocDirect makes the slice inline — the plain unguarded case.
+func AllocDirect(hdr []byte) []float64 {
+	n := ReadHeader(hdr)
+	return make([]float64, n) // want: wirebound (make)
+}
+
+// WrongBranch checks the cap but puts the consequence on the wrong
+// branch: the oversized case is counted, not rejected, so the allocation
+// below is reached with the unbounded value on both paths.
+func WrongBranch(hdr []byte) []byte {
+	n := parse(hdr)
+	if n > maxFrame {
+		frames++
+	}
+	return make([]byte, n) // want: wirebound (guard does not dominate)
+}
+
+// Clamped is the clamp-sanitized clean counterpart of WrongBranch.
+func Clamped(hdr []byte) []byte {
+	n := parse(hdr)
+	if n > maxFrame {
+		n = maxFrame
+	}
+	return make([]byte, n)
+}
+
+// Checked is the reject-style clean counterpart: the guard's error return
+// dominates the allocation.
+func Checked(hdr []byte) ([]byte, error) {
+	n := parse(hdr)
+	if n < 0 || n > maxFrame {
+		return nil, errFrame
+	}
+	return buf.Build(n), nil
+}
+
+// MinClamped narrows through the min builtin instead of a branch.
+func MinClamped(hdr []byte) []byte {
+	return make([]byte, min(ReadHeader(hdr), maxFrame))
+}
+
+// Sum runs a loop whose trip count is the raw header field.
+func Sum(hdr []byte, vals []float64) float64 {
+	n := parse(hdr)
+	var s float64
+	for i := 0; i < n; i++ { // want: wirebound (trip count)
+		s += vals[i%len(vals)]
+	}
+	return s
+}
+
+// SumChecked is Sum's clean counterpart: the trip count is rejected first.
+func SumChecked(hdr []byte, vals []float64) (float64, error) {
+	n := parse(hdr)
+	if n > maxFrame {
+		return 0, errFrame
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += vals[i%len(vals)]
+	}
+	return s, nil
+}
+
+// Pick indexes a table with the raw header field.
+func Pick(hdr []byte, table []float64) float64 {
+	return table[ReadHeader(hdr)] // want: wirebound (index)
+}
+
+// Stream hands the raw header field to io.CopyN as the byte count.
+func Stream(w io.Writer, r io.Reader, hdr []byte) error {
+	_, err := io.CopyN(w, r, int64(ReadHeader(hdr))) // want: wirebound (foreign length)
+	return err
+}

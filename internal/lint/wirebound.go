@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WireBound statically proves the transport's hostile-input safety claim:
+// every integer decoded from wire bytes is narrowed against a declared cap
+// before it reaches an allocation size, a slice/index expression, a
+// foreign length argument or a loop trip count. It runs the guard-aware
+// interval-bounds engine (bounds.go) over the whole module and reports
+// each hostile value that arrives at a sink without a finite proven upper
+// bound, carrying the full source → … → sink hop path — the same proof-
+// trace shape as privacytaint, rendered in text, -json and SARIF alike.
+//
+// The declared caps live in internal/fed/limits.go; the analyzer does not
+// know them by name, only by effect: a guard like `count > maxWireParams`
+// narrows count's hostile interval to [0, maxWireParams], and the sink
+// check then compares that bound against MaxProvenBound. Raising a cap
+// above MaxProvenBound therefore turns into findings, which is the point:
+// the constant file and the analyzer together are the machine-checked
+// form of "hostile lengths are bounded before any allocation".
+type WireBound struct {
+	// Config declares the wire packages, allocation helpers, foreign
+	// size-taking functions and the largest provable bound. The zero
+	// value analyzes nothing; DefaultSuite installs DefaultWireBoundConfig.
+	Config WireBoundConfig
+}
+
+// WireBoundConfig names the module-specific knobs of the bounds engine.
+// Function specs use go/types FullName syntax plus "#n" for the checked
+// argument index: "(*pkgpath.Type).Method#0", "pkgpath.Func#2".
+type WireBoundConfig struct {
+	// WirePkgs lists import paths whose binary.*Endian.UintN calls and
+	// byte-element reads produce hostile values. Packages that only ever
+	// see trusted local bytes stay out of the list.
+	WirePkgs []string
+	// AllocFuncs lists in-module allocation helpers: the named argument
+	// is checked at every call site, and the helper's own body is exempt
+	// (it is the declared boundary). Specs must resolve.
+	AllocFuncs []string
+	// SizeFuncs lists foreign functions whose named argument is an
+	// allocation or I/O length — io.CopyN's n, bytes.Repeat's count.
+	SizeFuncs []string
+	// MaxProvenBound is the largest hostile upper bound accepted at a
+	// sink. It is deliberately generous — caps exist to exclude absurd
+	// allocations, not to micro-budget buffers — but finite, so "bounded"
+	// always means "provably small".
+	MaxProvenBound int64
+}
+
+// DefaultWireBoundConfig is the fedpower module's wire-safety boundary:
+// the federation transport, the parameter/accumulator codecs and the
+// fault-injection wrapper are wire packages; the codec's scratch growers
+// are the declared allocation helpers; and the proof bound is 2²⁶ (64 MiB
+// of worst-case scratch), comfortably above every declared cap product
+// (maxWireParams·nn.MaxAccumWire ≈ 36 MiB) and far below a memory-
+// exhaustion attack.
+func DefaultWireBoundConfig() WireBoundConfig {
+	return WireBoundConfig{
+		WirePkgs: []string{
+			"fedpower/internal/fed",
+			"fedpower/internal/nn",
+			"fedpower/internal/faultnet",
+		},
+		AllocFuncs: []string{
+			"(*fedpower/internal/fed.codecState).growScratch#0",
+			"(*fedpower/internal/fed.codecState).grow#0",
+			"(*fedpower/internal/fed.codecState).growCarry#0",
+		},
+		SizeFuncs: []string{
+			"io.CopyN#2",
+			"io.ReadAtLeast#2",
+			"bytes.Repeat#1",
+			"strings.Repeat#1",
+			"(*bytes.Buffer).Grow#0",
+		},
+		MaxProvenBound: 1 << 26,
+	}
+}
+
+func (WireBound) Name() string { return "wirebound" }
+
+func (WireBound) Doc() string {
+	return "interval-bounds analysis: integers decoded from wire bytes must be narrowed against a declared cap before reaching an allocation size, index, foreign length argument or loop trip count"
+}
+
+// Check analyzes a single package as a one-package module, for unit
+// fixtures; whole-module runs go through CheckModule.
+func (w WireBound) Check(pkg *Package) []Diagnostic {
+	return w.CheckModule(NewModule([]*Package{pkg}))
+}
+
+// CheckModule runs the bounds engine over the whole module.
+func (w WireBound) CheckModule(mod *Module) []Diagnostic {
+	diags, _ := w.analyze(mod)
+	return diags
+}
+
+// analyze is CheckModule plus the engine's work counters, which the
+// real-module regression test uses to prove the clean result is not
+// vacuous (sources were found, guards were applied, sinks were checked).
+func (w WireBound) analyze(mod *Module) ([]Diagnostic, wireBoundStats) {
+	eng, unresolved := w.Config.resolve(mod)
+	var out []Diagnostic
+	// An unresolved spec would silently weaken the theorem (a renamed
+	// growScratch leaving its call sites unchecked), so it is a finding —
+	// except on partial modules (unit fixtures), where foreign specs
+	// legitimately cannot resolve.
+	if len(mod.Pkgs) > 1 {
+		for _, spec := range unresolved {
+			out = append(out, Diagnostic{
+				Analyzer: "wirebound",
+				Pos:      modulePos(mod),
+				Message:  fmt.Sprintf("config spec %q matches nothing in the module; the wire boundary it names no longer exists", spec),
+			})
+		}
+	}
+	if len(eng.wirePkgs) == 0 {
+		return out, wireBoundStats{}
+	}
+	eng.run()
+	for _, f := range eng.sortedFindings() {
+		bound := "no finite upper bound"
+		if f.val.hIv.hi != boundMax {
+			bound = fmt.Sprintf("a proven bound of %d, above the declared-cap limit %d", f.val.hIv.hi, eng.maxBound)
+		}
+		path := appendHop(f.val.trace, f.pos, fmt.Sprintf("reaches %s", f.sink))
+		out = append(out, Diagnostic{
+			Analyzer: "wirebound",
+			Pos:      f.pos,
+			Message: fmt.Sprintf("wire-derived integer %s reaches %s with %s (%d-hop path below); narrow it against a declared cap first",
+				f.expr, f.sink, bound, len(path)),
+			Path: path,
+		})
+	}
+	return out, eng.stats
+}
+
+// resolve binds the config to the module, returning a ready engine and
+// every spec that matched nothing.
+func (c WireBoundConfig) resolve(mod *Module) (*boundsEngine, []string) {
+	eng := newBoundsEngine(mod)
+	eng.maxBound = c.MaxProvenBound
+	var unresolved []string
+
+	pkgPaths := make(map[string]bool, len(mod.Pkgs))
+	for _, pkg := range mod.Pkgs {
+		pkgPaths[pkg.Path] = true
+	}
+	for _, spec := range c.WirePkgs {
+		if pkgPaths[spec] {
+			eng.wirePkgs[spec] = true
+		} else {
+			unresolved = append(unresolved, spec)
+		}
+	}
+
+	funcsByName := make(map[string]*types.Func)
+	for fn := range mod.funcs {
+		funcsByName[fn.FullName()] = fn
+	}
+	for _, spec := range c.AllocFuncs {
+		name, idx, ok := splitArgSpec(spec)
+		if !ok {
+			unresolved = append(unresolved, spec)
+			continue
+		}
+		fn, found := funcsByName[name]
+		if !found {
+			unresolved = append(unresolved, spec)
+			continue
+		}
+		eng.allocFuncs[fn] = idx
+	}
+	for _, spec := range c.SizeFuncs {
+		name, idx, ok := splitArgSpec(spec)
+		if !ok {
+			unresolved = append(unresolved, spec)
+			continue
+		}
+		// Foreign functions cannot be pre-resolved against the module;
+		// they are matched by FullName at call sites.
+		eng.sizeFuncs[name] = idx
+	}
+
+	sort.Strings(unresolved)
+	return eng, unresolved
+}
+
+// splitArgSpec parses "fullname#idx".
+func splitArgSpec(spec string) (string, int, bool) {
+	i := strings.LastIndex(spec, "#")
+	if i < 0 {
+		return "", 0, false
+	}
+	idx, err := strconv.Atoi(spec[i+1:])
+	if err != nil || idx < 0 {
+		return "", 0, false
+	}
+	return spec[:i], idx, true
+}

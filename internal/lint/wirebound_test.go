@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// wiremodSuite is the analyzer configuration the testdata/wiremod fixture
+// module exercises: the fixture's wire package is the hostile boundary,
+// buf.Build its declared allocation helper, and 1<<16 the largest provable
+// bound (so the fixture's maxFrame = 4096 guards prove and raw 32-bit
+// header fields do not).
+func wiremodSuite() []Analyzer {
+	return []Analyzer{
+		WireBound{Config: WireBoundConfig{
+			WirePkgs:       []string{"wiremod/wire"},
+			AllocFuncs:     []string{"wiremod/buf.Build#0"},
+			SizeFuncs:      []string{"io.CopyN#2"},
+			MaxProvenBound: 1 << 16,
+		}},
+	}
+}
+
+func loadWiremod(t *testing.T) (root string, pkgs []*Package) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "wiremod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err = LoadModule(root)
+	if err != nil {
+		t.Fatalf("load fixture module: %v", err)
+	}
+	if len(pkgs) < 2 {
+		t.Fatalf("loaded only %d fixture packages, want 2", len(pkgs))
+	}
+	return root, pkgs
+}
+
+// TestWireBoundGolden pins the analyzer's full output — every hop of every
+// path — over the wiremod fixture module. The fixture plants an unguarded
+// header field reaching the declared allocation helper three calls deep
+// across a package boundary, a 64-bit length no type can bound, a plain
+// unguarded make, a cap check on the wrong branch, a hostile loop trip
+// count, a hostile index and a hostile io.CopyN length — each next to a
+// clamp-, reject- or min-guarded clean counterpart. Regenerate with
+// `go test -run WireBoundGolden -update ./internal/lint`.
+func TestWireBoundGolden(t *testing.T) {
+	root, pkgs := loadWiremod(t)
+	diags := Run(pkgs, wiremodSuite())
+
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	got := strings.ReplaceAll(b.String(), root+string(filepath.Separator), "")
+
+	goldenPath := filepath.Join("testdata", "wirebound.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("wirebound output drifted from golden file\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWireBoundFixtureShape asserts the semantic content of the fixture
+// run independently of exact positions: every planted violation fires,
+// every guarded counterpart stays silent, and the cross-package finding
+// carries its full call chain.
+func TestWireBoundFixtureShape(t *testing.T) {
+	_, pkgs := loadWiremod(t)
+	diags := Run(pkgs, wiremodSuite())
+
+	if len(diags) != 7 {
+		for _, d := range diags {
+			t.Logf("finding: %s", d)
+		}
+		t.Fatalf("fixture findings = %d, want 7", len(diags))
+	}
+
+	kinds := map[string]int{}
+	for _, d := range diags {
+		if d.Analyzer != "wirebound" {
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+		switch {
+		case strings.Contains(d.Message, "allocation helper"):
+			kinds["helper"]++
+		case strings.Contains(d.Message, "allocation size (make)"):
+			kinds["make"]++
+		case strings.Contains(d.Message, "loop trip count"):
+			kinds["loop"]++
+		case strings.Contains(d.Message, "index expression"):
+			kinds["index"]++
+		case strings.Contains(d.Message, "length argument of io.CopyN"):
+			kinds["copyn"]++
+		}
+		if len(d.Path) < 2 {
+			t.Errorf("wirebound finding without a flow path: %s", d)
+		}
+		for _, clean := range []string{"Clamped", "Checked", "MinClamped", "SumChecked"} {
+			if strings.Contains(filepath.Base(d.Pos.Filename)+d.Message, clean) {
+				t.Errorf("clean counterpart %s flagged: %s", clean, d)
+			}
+		}
+	}
+	if kinds["helper"] != 2 { // Alloc (3-deep) + Alloc64 (no finite bound)
+		t.Errorf("helper call-site findings = %d, want 2", kinds["helper"])
+	}
+	if kinds["make"] != 2 { // AllocDirect + WrongBranch
+		t.Errorf("make findings = %d, want 2", kinds["make"])
+	}
+	if kinds["loop"] != 1 || kinds["index"] != 1 || kinds["copyn"] != 1 {
+		t.Errorf("loop/index/copyn findings = %d/%d/%d, want 1/1/1", kinds["loop"], kinds["index"], kinds["copyn"])
+	}
+
+	// Both message variants must appear: the 64-bit length has no finite
+	// bound at all; the 32-bit ones carry a concrete too-large bound.
+	var sawUnbounded, sawOversized, sawDeepPath bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "no finite upper bound") {
+			sawUnbounded = true
+		}
+		if strings.Contains(d.Message, "above the declared-cap limit") {
+			sawOversized = true
+		}
+		// The Alloc chain: wire read → returned from ReadHeader → into n →
+		// returned from parse → passed to Build → reaches sink.
+		if strings.Contains(d.Message, "allocation helper") && len(d.Path) >= 5 {
+			sawDeepPath = true
+		}
+	}
+	if !sawUnbounded {
+		t.Error("no finding reports \"no finite upper bound\" (Alloc64 case missing)")
+	}
+	if !sawOversized {
+		t.Error("no finding reports a concrete oversized bound (32-bit cases missing)")
+	}
+	if !sawDeepPath {
+		t.Error("the three-call cross-package chain lost its hop path")
+	}
+}
+
+// TestWireBoundRealModuleClean is the theorem the analyzer exists to
+// prove: every network-facing decode path of the actual fedpower module —
+// readMessage, readRelay, the codec decoders, DecodeAccumInto, the join
+// negotiation — narrows hostile integers against the declared caps of
+// internal/fed/limits.go before any allocation, index or loop use, with
+// zero //fedlint:ignore escapes. The engine's work counters guard against
+// a vacuous pass: wire sources must be found, guards must narrow, sinks
+// must be checked.
+func TestWireBoundRealModuleClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(wd)
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	mod := NewModule(pkgs)
+
+	w := WireBound{Config: DefaultWireBoundConfig()}
+	diags, stats := w.analyze(mod)
+	for _, d := range diags {
+		t.Errorf("real module not clean under wirebound:\n%s", d)
+	}
+	if stats.Sources < 10 {
+		t.Errorf("only %d wire sources found, want ≥ 10 (binary reads in fed and nn); the proof looks vacuous", stats.Sources)
+	}
+	if stats.Narrowings < 5 {
+		t.Errorf("only %d guard narrowings applied, want ≥ 5 (the declared-cap checks); the proof looks vacuous", stats.Narrowings)
+	}
+	if stats.Sinks < 20 {
+		t.Errorf("only %d sinks checked, want ≥ 20 (makes, indexes, loops across the module)", stats.Sinks)
+	}
+}

@@ -21,6 +21,10 @@
 #                                 (allocfree + maporder + slotrace) over
 #                                 the module; the static proofs must stay
 #                                 cheap enough to run on every test
+#   BenchmarkWireBound          — one interval-bounds pass (the wirebound
+#                                 hostile-input proof) over the module;
+#                                 gated on ns/op like the other analysis
+#                                 passes, allocs/op exempt
 #
 # writes the measurements to BENCH_<date>.json, then compares them against
 # the committed BENCH_baseline.json and fails when
@@ -35,7 +39,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN='BenchmarkControlStepLatency$|BenchmarkPolicyUpdate$|BenchmarkWireEncode$|BenchmarkWireDecode$|BenchmarkWireRoundTrip$|BenchmarkTreeAggregate$|BenchmarkEffectAnalysis$'
+PATTERN='BenchmarkControlStepLatency$|BenchmarkPolicyUpdate$|BenchmarkWireEncode$|BenchmarkWireDecode$|BenchmarkWireRoundTrip$|BenchmarkTreeAggregate$|BenchmarkEffectAnalysis$|BenchmarkWireBound$'
 BUDGET_PCT="${BENCH_BUDGET_PCT:-20}"
 BASELINE="BENCH_baseline.json"
 TODAY="$(date +%Y-%m-%d)"
@@ -98,7 +102,7 @@ for name in BenchmarkControlStepLatency BenchmarkPolicyUpdate \
             BenchmarkWireEncode/dense BenchmarkWireDecode/dense BenchmarkWireRoundTrip/dense \
             BenchmarkTreeAggregate/fanout2 BenchmarkTreeAggregate/fanout4 \
             BenchmarkTreeAggregate/fanout8 BenchmarkTreeAggregate/fanout16 \
-            BenchmarkEffectAnalysis; do
+            BenchmarkEffectAnalysis BenchmarkWireBound; do
   cur_ns="$(json_field "$OUT" "$name" ns_per_op)"
   cur_allocs="$(json_field "$OUT" "$name" allocs_per_op)"
   base_ns="$(json_field "$BASELINE" "$name" ns_per_op)"
@@ -113,9 +117,10 @@ for name in BenchmarkControlStepLatency BenchmarkPolicyUpdate \
        'BEGIN { exit !(c > b*(1+lim/100)) }'; then
     echo "FAIL  $name: ${cur_ns} ns/op vs baseline ${base_ns} ns/op (${delta}% > +${BUDGET_PCT}% budget)"
     fail=1
-  # The analysis pass allocates in proportion to the module it analyzes, so
-  # only its wall clock is gated; the zero-alloc rule is for device hot paths.
-  elif [ "$name" != BenchmarkEffectAnalysis ] && [ "${cur_allocs%.*}" -gt "${base_allocs%.*}" ]; then
+  # The analysis passes allocate in proportion to the module they analyze, so
+  # only their wall clock is gated; the zero-alloc rule is for device hot paths.
+  elif [ "$name" != BenchmarkEffectAnalysis ] && [ "$name" != BenchmarkWireBound ] && \
+       [ "${cur_allocs%.*}" -gt "${base_allocs%.*}" ]; then
     echo "FAIL  $name: ${cur_allocs} allocs/op vs baseline ${base_allocs} allocs/op"
     fail=1
   else

@@ -14,7 +14,13 @@
 #   5. go test -race   — race detector over every package (the federation,
 #                        faultnet and experiment tests exercise real
 #                        concurrency: quorum rounds with slow/dead clients)
-#   6. determinism     — the resilience tests twice over (fault-injection
+#   6. fuzz smoke      — a short randomized pass (FUZZ_SMOKE seconds per
+#                        target, default 10) over the two hostile-input
+#                        decoders wirebound proves statically: readMessage
+#                        and the relay collect path; the checked-in
+#                        regression seeds under internal/fed/testdata/fuzz
+#                        always run as part of step 4
+#   7. determinism     — the resilience tests twice over (fault-injection
 #                        schedules and zero-fault TCP runs must replay
 #                        bit-identically), the parallel experiment
 #                        engine against sequential execution (bit-identical
@@ -51,6 +57,14 @@ go test ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+# Randomized complement to the wirebound static proof: the analyzer shows no
+# hostile integer reaches an allocation unbounded; the fuzzer hammers the
+# same decode paths with mutated frames in case the model missed something.
+FUZZ_SMOKE="${FUZZ_SMOKE:-10}"
+echo "==> fuzz smoke (${FUZZ_SMOKE}s per wire decode target)"
+go test -run '^$' -fuzz 'FuzzReadMessage$' -fuzztime "${FUZZ_SMOKE}s" ./internal/fed/
+go test -run '^$' -fuzz 'FuzzRelayFrame$' -fuzztime "${FUZZ_SMOKE}s" ./internal/fed/
 
 echo "==> go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical' -count=2 (determinism replay)"
 go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/...
