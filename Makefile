@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the same gate CI runs.
 
-.PHONY: check build vet lint lint-sarif bench bench-lint test race determinism fuzz
+.PHONY: check build vet lint lint-sarif bench bench-lint bench-train test race determinism fuzz
 
 check:
 	./scripts/check.sh
@@ -26,12 +26,20 @@ bench-lint:
 	go test -bench 'DefaultSuite|PrivacyTaint|WireBound' -benchmem -run XXX ./internal/lint/
 
 # Hot-path benchmark gate: runs BenchmarkControlStepLatency,
-# BenchmarkPolicyUpdate and the BenchmarkWire{Encode,Decode,RoundTrip}
-# wire-path benchmarks with -benchmem, records BENCH_<date>.json and
-# fails on a >20 % ns/op regression — or any allocs/op increase — against
-# the committed BENCH_baseline.json (scripts/benchdiff.sh).
+# BenchmarkPolicyUpdate{,Batch}, BenchmarkReplayAdd and the
+# BenchmarkWire{Encode,Decode,RoundTrip} wire-path benchmarks with
+# -benchmem and -count=3 (gating on the per-benchmark minimum ns/op),
+# records BENCH_<date>.json and fails on a >20 % ns/op regression — or any
+# allocs/op increase — against the committed BENCH_baseline.json
+# (scripts/benchdiff.sh).
 bench:
 	./scripts/benchdiff.sh
+
+# Training-kernel benchmarks only — the mini-batch policy update on the
+# batched kernels (its batch-size cost model) and the steady-state replay
+# ring Add — the quick loop for kernel work, without the regression gate.
+bench-train:
+	go test -run '^$$' -bench 'BenchmarkPolicyUpdate$$|BenchmarkPolicyUpdateBatch$$|BenchmarkReplayAdd$$' -benchmem -count=3 .
 
 test:
 	go test ./...
@@ -41,13 +49,16 @@ race:
 
 # Determinism gate: the resilience tests run twice and must replay
 # bit-identically (fault schedules, zero-fault TCP results), the parallel
-# experiment engine must match sequential execution bit-for-bit, and the
+# experiment engine must match sequential execution bit-for-bit, the
 # codec bit-identity tests must reproduce the dense result through the
-# delta codec — in-process and over TCP — twice over, and the hierarchical
+# delta codec — in-process and over TCP — twice over, the hierarchical
 # aggregation trees (randomized in-process topologies and 2-/3-level TCP
-# fleets) must reproduce the flat federation bit-for-bit.
+# fleets) must reproduce the flat federation bit-for-bit, and the batched
+# training kernels (ForwardBatch/BackwardBatch, the batched controller
+# update, and a whole Fig. 3 scenario) must reproduce the scalar kernels
+# bit-for-bit.
 determinism:
-	go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/...
+	go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical|BatchBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/... ./internal/nn/... ./internal/core/... .
 
 # Extended fuzzing of the federation wire format (seed corpus always runs
 # as part of `make test`).

@@ -1,0 +1,58 @@
+package fedpower_test
+
+// End-to-end proof that rewiring core.Controller.Update onto the batched
+// kernels changed no result bit anywhere in the reproduction: a full Fig. 3
+// scenario — two federated devices, local baselines, replay wraparound,
+// softmax exploration, Adam — is run through both Update implementations
+// and compared with reflect.DeepEqual, and the batched run is additionally
+// pinned to golden values captured from the pre-rewrite scalar-only
+// implementation. Part of the determinism replay gate (-count=2).
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fedpower"
+)
+
+// Golden Fig. 3 scenario-2 aggregates captured at commit ce3712e (the last
+// commit before the batched-kernel rewrite), at the reduced benchmark
+// budget below: math.Float64bits of AvgFedReward and AvgLocalReward.
+const (
+	goldenFig3FedBits   = 0x3fe0fde5cfd7baec
+	goldenFig3LocalBits = 0x3fd8f2db559dd0c3
+)
+
+func fig3BatchOptions() fedpower.Options {
+	o := fedpower.DefaultOptions()
+	o.Rounds = 40
+	o.StepsPerRound = 100
+	o.EvalSteps = 15
+	o.ExecEvalEvery = 10
+	return o
+}
+
+func TestFig3BatchBitIdentical(t *testing.T) {
+	run := func(scalar bool) *fedpower.ScenarioResult {
+		o := fig3BatchOptions()
+		o.Core.ScalarUpdate = scalar
+		res, err := fedpower.RunScenario(o, 1, fedpower.TableII()[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	batched, scalar := run(false), run(true)
+	if !reflect.DeepEqual(batched, scalar) {
+		t.Errorf("batched and scalar Update produced different scenario results")
+	}
+	if bits := math.Float64bits(batched.AvgFedReward()); bits != goldenFig3FedBits {
+		t.Errorf("AvgFedReward = %#x (%v), pre-rewrite golden %#x (%v)",
+			bits, batched.AvgFedReward(), uint64(goldenFig3FedBits), math.Float64frombits(goldenFig3FedBits))
+	}
+	if bits := math.Float64bits(batched.AvgLocalReward()); bits != goldenFig3LocalBits {
+		t.Errorf("AvgLocalReward = %#x (%v), pre-rewrite golden %#x (%v)",
+			bits, batched.AvgLocalReward(), uint64(goldenFig3LocalBits), math.Float64frombits(goldenFig3LocalBits))
+	}
+}

@@ -9,6 +9,7 @@ package fedpower_test
 // reference run.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -148,6 +149,50 @@ func BenchmarkPolicyUpdate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctrl.Update()
+	}
+}
+
+// BenchmarkPolicyUpdateBatch scales the mini-batch update across batch
+// sizes around the paper's C_B = 128, pinning the batched kernels' cost
+// model (the ns/op floor is the Adam step over 687 parameters, the slope
+// is the per-sample kernel work) — all at 0 allocs/op.
+func BenchmarkPolicyUpdateBatch(b *testing.B) {
+	for _, batch := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			table := fedpower.JetsonNanoTable()
+			params := fedpower.DefaultControllerParams(table.Len())
+			params.BatchSize = batch
+			params.OptimInterval = 1 << 30
+			ctrl := fedpower.NewController(params, rand.New(rand.NewSource(1)))
+			rng := rand.New(rand.NewSource(2))
+			state := make([]float64, fedpower.StateDim)
+			for i := 0; i < params.ReplayCapacity; i++ {
+				for j := range state {
+					state[j] = rng.Float64()
+				}
+				ctrl.Observe(state, rng.Intn(table.Len()), rng.Float64()*2-1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctrl.Update()
+			}
+		})
+	}
+}
+
+// BenchmarkReplayAdd measures the steady-state cost of recording one
+// interaction once the ring has wrapped — the per-step replay overhead of
+// Algorithm 1, which recycles the evicted sample's state storage and must
+// stay at 0 allocs/op.
+func BenchmarkReplayAdd(b *testing.B) {
+	buf := fedpower.NewReplayBuffer(4000)
+	state := []float64{0.5, 0.4, 0.6, 0.1, 0.2}
+	for i := 0; i < 4001; i++ {
+		buf.Add(state, i%15, 0.5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Add(state, i%15, 0.5)
 	}
 }
 

@@ -37,6 +37,14 @@ type Params struct {
 	EpsilonMax   float64
 	EpsilonDecay float64
 	EpsilonMin   float64
+
+	// ScalarUpdate forces Update onto the per-sample reference kernels
+	// (replay.Sample + nn.ForwardAction/BackwardScalar) instead of the
+	// batched ones (replay.SampleInto + nn.ForwardBatch/BackwardBatch).
+	// The two paths are bit-identical by construction — the seam exists so
+	// tests and experiments can prove it end to end (the batch bit-identity
+	// suite and TestFig3BatchBitIdentical), not to change behaviour.
+	ScalarUpdate bool
 }
 
 // ExplorationMode selects how training-time actions are drawn.
@@ -140,9 +148,18 @@ type Controller struct {
 	rng   *rand.Rand
 	step  int
 	grad  []float64
-	batch []replay.Sample
+	batch []replay.Sample // scalar reference path scratch
 	probs []float64
 	loss  float64 // last batch loss, for diagnostics
+
+	// Batched-update scratch: the mini-batch's action/reward columns and
+	// the per-sample outputs and loss gradients, grown once (capacity-
+	// guarded) and reused so Update stays allocation-free. The state
+	// matrix itself is network-owned (nn.BatchStates).
+	actions []int
+	rewards []float64
+	outs    []float64
+	gs      []float64
 }
 
 // NewController builds a controller from p, drawing weight initialisation
@@ -303,11 +320,31 @@ func (c *Controller) AdvanceSchedule() { c.step++ }
 // regression a contextual bandit value estimate rather than a full
 // distribution fit.
 //
+// Update runs the batched kernels (nn.ForwardBatch/BackwardBatch): the
+// sampled states are packed into the network-owned [batch × in] matrix and
+// the network weights stream through the cache once per sample block
+// instead of once per sample. The per-sample reference path is kept
+// (P.ScalarUpdate) and the two are bit-identical — same draws from the
+// same rng stream, same float operations in the same per-accumulator
+// order — which the batch bit-identity suite pins exactly. Both paths are
+// allocation-free at steady state, proven by the allocfree effect
+// analyzer.
+//
 //fedlint:allocfree
 func (c *Controller) Update() {
 	if c.buf.Len() == 0 {
 		return
 	}
+	if c.P.ScalarUpdate {
+		c.updateScalar()
+		return
+	}
+	c.updateBatched()
+}
+
+// updateScalar is the per-sample reference implementation of Update: one
+// ForwardAction/BackwardScalar pair per drawn sample, in draw order.
+func (c *Controller) updateScalar() {
 	n := c.P.BatchSize
 	c.batch = c.buf.Sample(c.rng, n, c.batch)
 	for i := range c.grad {
@@ -323,6 +360,38 @@ func (c *Controller) Update() {
 		totalLoss += loss
 		c.net.BackwardScalar(s.Action, g/float64(n), c.grad)
 	}
+	c.loss = totalLoss / float64(n)
+	c.opt.Step(c.net.Params(), c.grad)
+}
+
+// updateBatched is the cache-blocked implementation of Update: the drawn
+// mini-batch is packed column-wise (states into the network's batch
+// matrix, actions/rewards into controller-owned columns) and forward,
+// loss and backward each run once over the whole batch.
+func (c *Controller) updateBatched() {
+	n := c.P.BatchSize
+	if cap(c.actions) < n {
+		c.actions = make([]int, n)
+		c.rewards = make([]float64, n)
+		c.outs = make([]float64, n)
+		c.gs = make([]float64, n)
+	}
+	actions := c.actions[:n]
+	rewards := c.rewards[:n]
+	outs := c.outs[:n]
+	gs := c.gs[:n]
+	c.buf.SampleInto(c.rng, c.net.BatchStates(n), actions, rewards)
+	for i := range c.grad {
+		c.grad[i] = 0
+	}
+	c.net.ForwardBatch(actions, outs)
+	totalLoss := 0.0
+	for s := 0; s < n; s++ {
+		loss, g := nn.Huber(outs[s], rewards[s], nn.HuberDelta)
+		totalLoss += loss
+		gs[s] = g / float64(n)
+	}
+	c.net.BackwardBatch(actions, gs, c.grad)
 	c.loss = totalLoss / float64(n)
 	c.opt.Step(c.net.Params(), c.grad)
 }

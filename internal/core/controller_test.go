@@ -454,3 +454,68 @@ func TestPolicyShiftInvarianceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestUpdateBatchBitIdentical: a controller training on the batched Update
+// path (the default) must reproduce the scalar reference path bit for bit
+// — identical parameter vectors and losses over a full training run with
+// softmax exploration, replay wraparound and periodic updates, because
+// both paths perform the same replay draws from the same rng stream and
+// the same float operations in the same per-accumulator order. Part of the
+// determinism replay gate (-count=2).
+func TestUpdateBatchBitIdentical(t *testing.T) {
+	run := func(scalar bool) *Controller {
+		p := Defaults(15)
+		p.ScalarUpdate = scalar
+		p.BatchSize = 32
+		p.ReplayCapacity = 100 // wrap the ring several times
+		p.OptimInterval = 5
+		c := NewController(p, rand.New(rand.NewSource(11)))
+		env := rand.New(rand.NewSource(12))
+		state := make([]float64, StateDim)
+		for step := 0; step < 400; step++ {
+			for j := range state {
+				state[j] = env.Float64()
+			}
+			a := c.SelectAction(state)
+			c.Observe(state, a, env.Float64()*2-1)
+		}
+		return c
+	}
+	batched, scalar := run(false), run(true)
+	bp, sp := batched.ModelParams(), scalar.ModelParams()
+	for i := range bp {
+		if bp[i] != sp[i] {
+			t.Fatalf("params[%d] = %x batched, %x scalar", i, bp[i], sp[i])
+		}
+	}
+	if batched.LastLoss() != scalar.LastLoss() {
+		t.Fatalf("last loss %x batched, %x scalar", batched.LastLoss(), scalar.LastLoss())
+	}
+}
+
+// TestUpdateAllocationFree pins the training hot path's steady-state
+// allocation guarantee end to end for both Update implementations:
+// replay sampling, forward, loss, backward and the Adam step.
+func TestUpdateAllocationFree(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		scalar bool
+	}{{"batched", false}, {"scalar", true}} {
+		p := Defaults(15)
+		p.ScalarUpdate = tc.scalar
+		p.OptimInterval = 1 << 30 // no automatic updates; we call Update directly
+		c := NewController(p, rand.New(rand.NewSource(13)))
+		env := rand.New(rand.NewSource(14))
+		state := make([]float64, StateDim)
+		for i := 0; i < 500; i++ {
+			for j := range state {
+				state[j] = env.Float64()
+			}
+			c.Observe(state, env.Intn(15), env.Float64()*2-1)
+		}
+		c.Update() // grow the batch scratch once
+		if avg := testing.AllocsPerRun(50, c.Update); avg != 0 {
+			t.Errorf("%s Update allocates %.1f times per call, want 0", tc.name, avg)
+		}
+	}
+}

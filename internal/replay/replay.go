@@ -41,16 +41,30 @@ func New(capacity int) *Buffer {
 }
 
 // Add appends a sample, evicting the oldest one when the buffer is full. The
-// state slice is copied so callers may reuse their buffer.
+// state slice is copied so callers may reuse their buffer. Once the ring is
+// full, the evicted sample's state storage is recycled for the new sample
+// (when the dimensions allow), so steady-state Add performs no allocations
+// (BenchmarkReplayAdd pins this); the flip side is that a Sample or At
+// result's State aliases ring storage that is rewritten when the ring wraps
+// back to its slot — copy it out to outlive the wrap (SampleInto does).
+//
+//fedlint:allocfree
 func (b *Buffer) Add(state []float64, action int, reward float64) {
-	s := Sample{State: append([]float64(nil), state...), Action: action, Reward: reward}
 	b.added++
 	if len(b.data) < cap(b.data) {
-		b.data = append(b.data, s)
+		b.data = append(b.data, Sample{State: append([]float64(nil), state...), Action: action, Reward: reward})
 		return
 	}
 	b.full = true
-	b.data[b.next] = s
+	s := &b.data[b.next]
+	if cap(s.State) >= len(state) {
+		s.State = s.State[:len(state)]
+		copy(s.State, state)
+	} else {
+		s.State = append([]float64(nil), state...)
+	}
+	s.Action = action
+	s.Reward = reward
 	b.next = (b.next + 1) % cap(b.data)
 }
 
@@ -69,8 +83,10 @@ func (b *Buffer) Full() bool { return b.full }
 
 // Sample draws n samples uniformly at random with replacement into dst and
 // returns it (allocating when dst is too small). Sampling with replacement
-// matches the standard replay formulation and keeps the draw O(n). It panics
-// when the buffer is empty.
+// matches the standard replay formulation and keeps the draw O(n). The
+// drawn Samples' State slices alias ring storage that is recycled when the
+// ring wraps back to their slots (see Add); consume or copy them before
+// adding Cap more samples. It panics when the buffer is empty.
 func (b *Buffer) Sample(rng *rand.Rand, n int, dst []Sample) []Sample {
 	if len(b.data) == 0 {
 		panic("replay: Sample from empty buffer")
@@ -83,6 +99,44 @@ func (b *Buffer) Sample(rng *rand.Rand, n int, dst []Sample) []Sample {
 		dst[i] = b.data[rng.Intn(len(b.data))]
 	}
 	return dst
+}
+
+// SampleInto draws len(actions) samples uniformly at random with
+// replacement — the same draws, from the same rng stream, as Sample — and
+// scatters them into caller storage: states is a flat row-major
+// [batch × dim] state matrix (one copied state per row; nn.BatchStates
+// hands out exactly this shape), with the matching action and reward per
+// sample in actions and rewards. No per-sample Sample structs are
+// materialised and the copied rows are immune to the ring recycling their
+// source storage on a later Add. The row dimension is len(states) divided
+// by the batch size and must match every drawn sample's state length. It
+// panics when the buffer or the batch is empty.
+//
+//fedlint:allocfree
+func (b *Buffer) SampleInto(rng *rand.Rand, states []float64, actions []int, rewards []float64) {
+	n := len(actions)
+	if n == 0 {
+		panic("replay: SampleInto with an empty batch")
+	}
+	if len(rewards) != n {
+		panic(fmt.Sprintf("replay: SampleInto rewards length %d, want %d", len(rewards), n))
+	}
+	if len(b.data) == 0 {
+		panic("replay: SampleInto from empty buffer")
+	}
+	dim := len(states) / n
+	if dim*n != len(states) {
+		panic(fmt.Sprintf("replay: SampleInto state matrix length %d not divisible by batch %d", len(states), n))
+	}
+	for i := 0; i < n; i++ {
+		s := &b.data[rng.Intn(len(b.data))]
+		if len(s.State) != dim {
+			panic(fmt.Sprintf("replay: SampleInto state dimension %d, want %d", len(s.State), dim))
+		}
+		copy(states[i*dim:(i+1)*dim], s.State)
+		actions[i] = s.Action
+		rewards[i] = s.Reward
+	}
 }
 
 // At returns the i-th stored sample in insertion-ring order. It is intended

@@ -204,3 +204,105 @@ func TestSampleMembershipProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestAddReusesEvictedStateStorage: once the ring has wrapped, Add must
+// recycle the evicted sample's state storage instead of allocating a fresh
+// slice per sample forever — and the recycled slot must hold exactly the
+// new sample.
+func TestAddReusesEvictedStateStorage(t *testing.T) {
+	b := New(3)
+	for i := 0; i < 5; i++ {
+		b.Add([]float64{float64(i), float64(-i)}, i, float64(i) / 2)
+	}
+	// Ring of 3 after 5 adds: slots 0 and 1 overwritten in place by
+	// samples 3 and 4, slot 2 still holding sample 2.
+	for i, want := range []int{3, 4, 2} {
+		s := b.At(i)
+		if s.Action != want || s.State[0] != float64(want) || s.State[1] != float64(-want) || s.Reward != float64(want)/2 {
+			t.Fatalf("slot %d = %+v, want sample %d", i, s, want)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		b.Add([]float64{1, 2}, 1, 0.5)
+	}); avg != 0 {
+		t.Errorf("steady-state Add allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestAddReuseHandlesDimensionChange: a wider state than the evicted slot
+// can hold must fall back to a fresh copy, never a truncated one.
+func TestAddReuseHandlesDimensionChange(t *testing.T) {
+	b := New(2)
+	b.Add([]float64{1}, 0, 0)
+	b.Add([]float64{2}, 1, 0)
+	b.Add([]float64{3, 4, 5}, 2, 0) // evicts the 1-wide slot
+	s := b.At(0)
+	if len(s.State) != 3 || s.State[0] != 3 || s.State[2] != 5 {
+		t.Fatalf("recycled slot = %+v, want the full 3-wide state", s)
+	}
+	b.Add([]float64{6}, 3, 0) // narrower than the evicted 1-wide slot? slot 1 holds {2}
+	if got := b.At(1); len(got.State) != 1 || got.State[0] != 6 {
+		t.Fatalf("recycled slot = %+v, want the 1-wide state {6}", got)
+	}
+}
+
+// TestSampleIntoMatchesSample: SampleInto must perform the same draws from
+// the same rng stream as Sample and scatter exactly the same data into the
+// column layout.
+func TestSampleIntoMatchesSample(t *testing.T) {
+	const dim, batch = 3, 17
+	build := func() *Buffer {
+		b := New(8)
+		for i := 0; i < 13; i++ {
+			b.Add([]float64{float64(i), float64(2 * i), float64(-i)}, i%5, float64(i)/8)
+		}
+		return b
+	}
+	want := build().Sample(rand.New(rand.NewSource(42)), batch, nil)
+
+	states := make([]float64, batch*dim)
+	actions := make([]int, batch)
+	rewards := make([]float64, batch)
+	build().SampleInto(rand.New(rand.NewSource(42)), states, actions, rewards)
+
+	for i := 0; i < batch; i++ {
+		if actions[i] != want[i].Action || rewards[i] != want[i].Reward {
+			t.Fatalf("draw %d: (action, reward) = (%d, %v), want (%d, %v)", i, actions[i], rewards[i], want[i].Action, want[i].Reward)
+		}
+		for j := 0; j < dim; j++ {
+			if states[i*dim+j] != want[i].State[j] {
+				t.Fatalf("draw %d: state[%d] = %v, want %v", i, j, states[i*dim+j], want[i].State[j])
+			}
+		}
+	}
+}
+
+// TestSampleIntoValidation: the panics that guard the packed layout.
+func TestSampleIntoValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	b := New(4)
+	expectPanic("empty buffer", func() {
+		b.SampleInto(rng, make([]float64, 2), make([]int, 2), make([]float64, 2))
+	})
+	b.Add([]float64{1, 2}, 0, 0)
+	expectPanic("empty batch", func() {
+		b.SampleInto(rng, nil, nil, nil)
+	})
+	expectPanic("rewards length", func() {
+		b.SampleInto(rng, make([]float64, 4), make([]int, 2), make([]float64, 1))
+	})
+	expectPanic("indivisible matrix", func() {
+		b.SampleInto(rng, make([]float64, 5), make([]int, 2), make([]float64, 2))
+	})
+	expectPanic("dimension mismatch", func() {
+		b.SampleInto(rng, make([]float64, 6), make([]int, 2), make([]float64, 2))
+	})
+}

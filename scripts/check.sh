@@ -20,16 +20,24 @@
 #                        and the relay collect path; the checked-in
 #                        regression seeds under internal/fed/testdata/fuzz
 #                        always run as part of step 4
-#   7. determinism     — the resilience tests twice over (fault-injection
+#   7. bench compile   — every benchmark body runs once (-benchtime 1x), so
+#                        a benchmark that no longer compiles or panics on
+#                        its first iteration fails the gate instead of
+#                        rotting until the next `make bench`
+#   8. determinism     — the resilience tests twice over (fault-injection
 #                        schedules and zero-fault TCP runs must replay
 #                        bit-identically), the parallel experiment
 #                        engine against sequential execution (bit-identical
-#                        at every pool width), and the codec bit-identity
+#                        at every pool width), the codec bit-identity
 #                        tests (dense and delta federations — in-process at
 #                        widths 1 and 8 and over TCP — must agree bit-for-bit),
-#                        plus the hierarchical-aggregation identity (randomized
+#                        the hierarchical-aggregation identity (randomized
 #                        in-process trees and 2-/3-level TCP fleets must
-#                        reproduce the flat federation bit-for-bit)
+#                        reproduce the flat federation bit-for-bit), plus
+#                        the batched-kernel identity (ForwardBatch /
+#                        BackwardBatch and the batched controller update
+#                        must reproduce the scalar kernels bit-for-bit,
+#                        including a whole Fig. 3 scenario)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -66,7 +74,12 @@ echo "==> fuzz smoke (${FUZZ_SMOKE}s per wire decode target)"
 go test -run '^$' -fuzz 'FuzzReadMessage$' -fuzztime "${FUZZ_SMOKE}s" ./internal/fed/
 go test -run '^$' -fuzz 'FuzzRelayFrame$' -fuzztime "${FUZZ_SMOKE}s" ./internal/fed/
 
-echo "==> go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical' -count=2 (determinism replay)"
-go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/...
+# Benchmarks are not compiled by `go test` unless they run; one iteration of
+# each keeps the bench suite (and its gated hot paths) from bit-rotting.
+echo "==> go test -bench . -benchtime 1x (bench compile smoke)"
+go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
+
+echo "==> go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical|BatchBitIdentical' -count=2 (determinism replay)"
+go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical|BatchBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/... ./internal/nn/... ./internal/core/... .
 
 echo "==> all checks passed"
