@@ -53,12 +53,15 @@ race:
 # codec bit-identity tests must reproduce the dense result through the
 # delta codec — in-process and over TCP — twice over, the hierarchical
 # aggregation trees (randomized in-process topologies and 2-/3-level TCP
-# fleets) must reproduce the flat federation bit-for-bit, and the batched
+# fleets) must reproduce the flat federation bit-for-bit, the batched
 # training kernels (ForwardBatch/BackwardBatch, the batched controller
 # update, and a whole Fig. 3 scenario) must reproduce the scalar kernels
+# bit-for-bit, and the parallel aggregation plane (the server's round
+# workers at widths 1/2/8 per codec, the parallel tree runner, and the TCP
+# tree deployment at Parallelism 4) must reproduce the sequential runs
 # bit-for-bit.
 determinism:
-	go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical|BatchBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/... ./internal/nn/... ./internal/core/... .
+	go test -run 'Resilience|ParallelMatchesSequential|ParallelAggregation|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical|BatchBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/... ./internal/nn/... ./internal/core/... .
 
 # Extended fuzzing of the federation wire format (seed corpus always runs
 # as part of `make test`).

@@ -827,6 +827,7 @@ func runTree(o fedpower.Options, topologies, codecName string) error {
 	base := fedpower.DefaultTreeScaleOptions()
 	base.Seed = o.Seed
 	base.Codec = codec
+	base.Parallelism = o.Parallelism
 	if o.Rounds != fedpower.DefaultOptions().Rounds {
 		base.Rounds = o.Rounds
 	}

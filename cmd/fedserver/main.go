@@ -44,6 +44,7 @@ func main() {
 	roundTimeout := flag.Duration("round-timeout", 0, "per-round update deadline per device (0 = wait forever)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-broadcast write deadline per device (0 = none)")
 	joinTimeout := flag.Duration("join-timeout", 10*time.Second, "deadline for an accepted connection's join frame (0 = none)")
+	parallel := flag.Int("parallel", 0, "round worker width: 0 = one I/O worker per device plus GOMAXPROCS accumulation shards; any width is bit-identical")
 	out := flag.String("out", "", "write the final model as comma-separated text to this file instead of stdout")
 	modelPath := flag.String("model", "", "also write the final model in the binary .fpm format (loadable with fedpower.LoadModel)")
 	codecName := flag.String("codec", "dense", "wire codec — dense, delta, quant8 or quant16; devices must use the same")
@@ -60,7 +61,7 @@ func main() {
 
 	if *parent != "" {
 		runAggregator(*addr, *parent, *parentFallbacks, uint32(*aggID), *devices, codec,
-			*quorum, *roundTimeout, *writeTimeout, *joinTimeout, *out, *modelPath)
+			*quorum, *parallel, *roundTimeout, *writeTimeout, *joinTimeout, *out, *modelPath)
 		return
 	}
 
@@ -73,6 +74,7 @@ func main() {
 		log.Fatal(err)
 	}
 	srv.Quorum = *quorum
+	srv.Parallelism = *parallel
 	srv.RoundTimeout = *roundTimeout
 	srv.WriteTimeout = *writeTimeout
 	srv.JoinTimeout = *joinTimeout
@@ -121,7 +123,7 @@ func main() {
 // -devices children below it (devices or further aggregators) and a client
 // to -parent, relaying exact sub-sums upward each round.
 func runAggregator(addr, parent, fallbacks string, id uint32, children int, codec fedpower.Codec,
-	quorum int, roundTimeout, writeTimeout, joinTimeout time.Duration, out, modelPath string) {
+	quorum, parallel int, roundTimeout, writeTimeout, joinTimeout time.Duration, out, modelPath string) {
 	agg, err := fedpower.NewAggregator(addr, children)
 	if err != nil {
 		log.Fatal(err)
@@ -140,6 +142,7 @@ func runAggregator(addr, parent, fallbacks string, id uint32, children int, code
 	agg.Retry = fedpower.Backoff{Attempts: 10, Base: 100 * time.Millisecond, Max: 5 * time.Second}
 	agg.Children.Codec = codec
 	agg.Children.Quorum = quorum
+	agg.Children.Parallelism = parallel
 	agg.Children.RoundTimeout = roundTimeout
 	agg.Children.WriteTimeout = writeTimeout
 	agg.Children.JoinTimeout = joinTimeout

@@ -43,6 +43,11 @@ type TreeScaleOptions struct {
 	RoundTimeout time.Duration
 	WriteTimeout time.Duration
 	JoinTimeout  time.Duration
+	// Parallelism bounds each hop's per-round worker width (fed.Server
+	// Parallelism, applied at the root and every aggregator): 0 keeps the
+	// default of one I/O worker per pooled connection plus GOMAXPROCS
+	// accumulation shards. Every width yields bit-identical models.
+	Parallelism int
 	// Verify re-runs the same clients through the flat in-process runner and
 	// checks the TCP tree produced bit-identical parameters every round.
 	// Lossless codecs only (dense, delta): quantized codecs are stochastic
@@ -216,6 +221,7 @@ func RunTreeScaleWithClock(o TreeScaleOptions, now Clock) (*TreeScaleResult, err
 	root.RoundTimeout = o.RoundTimeout
 	root.WriteTimeout = o.WriteTimeout
 	root.JoinTimeout = o.JoinTimeout
+	root.Parallelism = o.Parallelism
 
 	// Deploy the tree depth-first, assigning leaves the same pre-order
 	// global indices fed.RunTree uses (a node's direct leaves first, then
@@ -259,6 +265,7 @@ func RunTreeScaleWithClock(o TreeScaleOptions, now Clock) (*TreeScaleResult, err
 			agg.Children.RoundTimeout = o.RoundTimeout / 2
 			agg.Children.WriteTimeout = o.WriteTimeout
 			agg.Children.JoinTimeout = o.JoinTimeout
+			agg.Children.Parallelism = o.Parallelism
 			agg.Retry = fed.Backoff{Attempts: 3, Base: 10 * time.Millisecond}
 			mu.Lock()
 			aggs = append(aggs, agg)

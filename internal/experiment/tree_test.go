@@ -89,6 +89,36 @@ func TestTreeScaleFleet(t *testing.T) {
 	}
 }
 
+// TestParallelAggregationTreeScale pins the width-independence of the
+// full TCP deployment: every hop running its round phases on parallel
+// workers (Parallelism 4) must reproduce the sequential deployment's
+// final model bit for bit — the exact accumulator makes the shard merge
+// an arithmetic identity, and each connection's codec streams stay with
+// the worker holding its index. Runs inside the determinism gate
+// (-count=2 in scripts/check.sh).
+func TestParallelAggregationTreeScale(t *testing.T) {
+	o := DefaultTreeScaleOptions()
+	o.Topology = "2x3"
+	o.Rounds = 2
+	o.NumParams = 16
+	o.Parallelism = 1
+	seq, err := RunTreeScaleWithClock(o, fakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Parallelism = 4
+	par, err := RunTreeScaleWithClock(o, fakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.FinalChecksum != seq.FinalChecksum {
+		t.Errorf("parallel deployment checksum %x, sequential %x", par.FinalChecksum, seq.FinalChecksum)
+	}
+	if !par.FlatMatch || !seq.FlatMatch {
+		t.Errorf("flat reference diverged: sequential %v, parallel %v", seq.FlatMatch, par.FlatMatch)
+	}
+}
+
 func TestTreeScaleValidation(t *testing.T) {
 	for _, mod := range []func(*TreeScaleOptions){
 		func(o *TreeScaleOptions) { o.Topology = "0x4" },

@@ -121,15 +121,15 @@ func (ar *aggregatorRelay) RelayRound(round int, global []float64) ([]nn.Accum, 
 	}
 	contribs, err := s.round(ar.ses, round, global)
 	if err != nil {
+		ar.ses.flushStats()
 		return nil, 0, err
 	}
 	if len(ar.acc) != len(global) {
 		ar.acc = make([]nn.Accum, len(global))
 	}
-	total := accumulate(ar.acc, contribs)
-	s.mu.Lock()
-	s.leaves = int64(total)
-	s.mu.Unlock()
+	total := ar.ses.accumulate(ar.acc, contribs)
+	ar.ses.stats.leaves, ar.ses.stats.leavesSet = int64(total), true
+	ar.ses.flushStats()
 	return ar.acc, total, nil
 }
 
@@ -159,5 +159,6 @@ func (a *Aggregator) Run() ([]float64, error) {
 	// Fan the final model out to the children — best-effort, like the root's
 	// own done broadcast.
 	ses.broadcast(message{kind: msgDone, round: a.part.LastRound(), params: final}, a.part.LastRound())
+	ses.flushStats()
 	return final, nil
 }

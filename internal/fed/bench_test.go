@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sync"
 	"testing"
 
 	"fedpower/internal/nn"
@@ -123,6 +124,90 @@ func BenchmarkTreeAggregate(b *testing.B) {
 				nn.MeanAccum(global, acc, total)
 			}
 		})
+	}
+}
+
+// BenchmarkServerRound measures one complete federated round — admit,
+// broadcast encode+write, collect read+decode, exact accumulate, mean —
+// over real TCP loopback with 8 in-process devices at the paper's model
+// size. The steady-state contract is 0 allocs/op across the whole plane:
+// the session's persistent round workers, cap-guarded scratch and
+// per-connection codec state mean a committed round touches the heap not
+// at all (the done-frame copies at protocol end amortise to zero).
+// scripts/benchdiff.sh gates both sub-benchmarks' allocs at exactly 0.
+//
+// All deadlines are zero by design: SetReadDeadline/SetWriteDeadline
+// allocate runtime timers, and this benchmark isolates the aggregation
+// plane, not the fault plane.
+func BenchmarkServerRound(b *testing.B) {
+	q8, err := QuantCodec(8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name  string
+		codec Codec
+	}{
+		{"dense", DenseCodec()},
+		{"quant8", q8},
+	} {
+		b.Run(bc.name, func(b *testing.B) { benchServerRound(b, bc.codec) })
+	}
+}
+
+func benchServerRound(b *testing.B, codec Codec) {
+	const devices = 8
+	// Round 1 warms the pool, scratch and codec states; the timer restarts
+	// from the first aggregation hook so exactly b.N steady-state rounds
+	// are measured.
+	srv, err := NewServer("127.0.0.1:0", devices, b.N+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	srv.Codec = codec
+
+	initial := benchParams()
+
+	var wg sync.WaitGroup
+	clientErrs := make([]error, devices)
+	for d := 0; d < devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			conn, err := DialCodec(srv.Addr(), uint32(d), codec)
+			if err != nil {
+				clientErrs[d] = err
+				return
+			}
+			defer func() { _ = conn.Close() }()
+			// The trainer reuses one buffer: Participate only encodes the
+			// returned slice, so the client side of a round is allocation
+			// free too (testing.B counts every goroutine's allocations).
+			buf := make([]float64, len(initial))
+			_, clientErrs[d] = conn.Participate(ClientFunc(func(round int, global []float64) ([]float64, error) {
+				copy(buf, global)
+				return buf, nil
+			}))
+		}(d)
+	}
+
+	b.SetBytes(2 * devices * int64(codec.TransferSize(len(initial))))
+	b.ReportAllocs()
+	_, serveErr := srv.Serve(initial, func(round int, g []float64) {
+		if round == 1 {
+			b.ResetTimer()
+		}
+	})
+	b.StopTimer()
+	wg.Wait()
+	if serveErr != nil {
+		b.Fatal(serveErr)
+	}
+	for d, err := range clientErrs {
+		if err != nil {
+			b.Fatalf("device %d: %v", d, err)
+		}
 	}
 }
 

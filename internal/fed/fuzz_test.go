@@ -302,7 +302,10 @@ func FuzzRelayFrame(f *testing.F) {
 			tx:   newCodecState(Codec{}, streamDown+14),
 			rx:   newCodecState(Codec{}, streamUp+14),
 		}
-		_, contribs, firstErr := s.collect([]*serverConn{sc}, 1, numParams)
+		ses := s.newSession()
+		defer ses.workers.Close()
+		ses.pool = []*serverConn{sc}
+		contribs, firstErr := ses.collect(1, numParams)
 		if firstErr != nil {
 			if len(contribs) != 0 {
 				t.Fatalf("collect surfaced an error and %d contributions", len(contribs))

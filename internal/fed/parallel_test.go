@@ -1,0 +1,162 @@
+package fed
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// Bit-identity of the parallel aggregation plane. The server's Parallelism
+// knob changes only scheduling — which worker encodes which broadcast,
+// reads which update, folds which contribution chunk — never arithmetic:
+// the exact accumulator makes sharded sums an identity, and each
+// connection's codec streams are touched only by the worker holding its
+// index. These tests pin that contract at every width, per codec, for the
+// flat TCP server and the in-process tree; scripts/check.sh runs them
+// twice (-count=2) inside the determinism gate.
+
+// paraTrainer is a pure function of (device, round, parameter): the TCP
+// runs at different widths must feed aggregation byte-identical updates.
+func paraTrainer(id int) ClientFunc {
+	return func(round int, global []float64) ([]float64, error) {
+		out := make([]float64, len(global))
+		for i, g := range global {
+			h := splitmix(uint64(id)*0x100000001b3 + uint64(round)<<32 + uint64(i))
+			step := math.Ldexp(float64(h>>40)/float64(1<<24), int(h%19)-9)
+			if h>>39&1 == 1 {
+				step = -step
+			}
+			out[i] = g + step
+		}
+		return out, nil
+	}
+}
+
+// paramBits snapshots a parameter vector's exact bit patterns.
+func paramBits(params []float64) []uint64 {
+	bits := make([]uint64, len(params))
+	for i, p := range params {
+		bits[i] = math.Float64bits(p)
+	}
+	return bits
+}
+
+// runParallelFederation drives one TCP federation of 8 devices at the
+// given worker width and returns every round's global model bits plus the
+// final model's.
+func runParallelFederation(t *testing.T, codec Codec, width int) [][]uint64 {
+	t.Helper()
+	const devices, rounds, params = 8, 3, 33
+	srv := startServer(t, devices, rounds)
+	srv.Codec = codec
+	srv.Parallelism = width
+
+	var wg sync.WaitGroup
+	errs := make([]error, devices)
+	for d := 0; d < devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			conn, err := DialCodec(srv.Addr(), uint32(d), codec)
+			if err != nil {
+				errs[d] = err
+				return
+			}
+			defer conn.Close()
+			_, errs[d] = conn.Participate(paraTrainer(d))
+		}(d)
+	}
+
+	initial := make([]float64, params)
+	for i := range initial {
+		initial[i] = float64(i) / 7
+	}
+	var history [][]uint64
+	final, err := srv.Serve(initial, func(round int, g []float64) {
+		history = append(history, paramBits(g))
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, err := range errs {
+		if err != nil {
+			t.Fatalf("device %d: %v", d, err)
+		}
+	}
+	return append(history, paramBits(final))
+}
+
+// compareHistories fails on the first bit mismatch between two runs.
+func compareHistories(t *testing.T, label string, ref, got [][]uint64) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("%s: %d aggregations, reference has %d", label, len(got), len(ref))
+	}
+	for r := range ref {
+		for i := range ref[r] {
+			if ref[r][i] != got[r][i] {
+				t.Fatalf("%s: round %d param %d = %#x, reference %#x",
+					label, r+1, i, got[r][i], ref[r][i])
+			}
+		}
+	}
+}
+
+// TestParallelAggregationBitIdentical runs the same federation at widths
+// 1, 2 and 8 under each codec family — dense, delta (stateful shadows),
+// quant8 (stochastic per-stream rounding) — and requires every round's
+// aggregated model to match the sequential run bit for bit.
+func TestParallelAggregationBitIdentical(t *testing.T) {
+	q8, err := QuantCodec(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, codec := range []Codec{DenseCodec(), DeltaCodec(), q8} {
+		t.Run(codec.String(), func(t *testing.T) {
+			ref := runParallelFederation(t, codec, 1)
+			for _, width := range []int{2, 8} {
+				got := runParallelFederation(t, codec, width)
+				compareHistories(t, fmt.Sprintf("width %d", width), ref, got)
+			}
+		})
+	}
+}
+
+// TestParallelAggregationTreeBitIdentical pins the same property for the
+// in-process hierarchical runner: RunTree's Parallelism fans both leaf
+// training and subtree sums, and every width must reproduce the width-1
+// tree bit for bit.
+func TestParallelAggregationTreeBitIdentical(t *testing.T) {
+	topo, err := ParseTopology("2x2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds, params = 3, 33
+	clients := make([]Client, topo.LeafCount())
+	for i := range clients {
+		clients[i] = paraTrainer(i)
+	}
+	run := func(width int) [][]uint64 {
+		global := make([]float64, params)
+		for i := range global {
+			global[i] = float64(i) / 7
+		}
+		var history [][]uint64
+		err := RunTree(global, clients, topo, TreeConfig{
+			Rounds:      rounds,
+			Parallelism: width,
+			Codec:       DenseCodec(),
+			Hook:        func(round int, g []float64) { history = append(history, paramBits(g)) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return history
+	}
+	ref := run(1)
+	for _, width := range []int{2, 8} {
+		compareHistories(t, fmt.Sprintf("tree width %d", width), ref, run(width))
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"fedpower/internal/nn"
+	"fedpower/internal/par"
 )
 
 // Server is the central aggregation server of Fig. 1 over TCP. It waits for
@@ -60,6 +62,19 @@ type Server struct {
 	// Joins advertising a different codec are rejected before any model
 	// bytes move, so a mixed fleet fails fast instead of desynchronising.
 	Codec Codec
+	// Parallelism bounds the round workers: how many per-connection
+	// broadcast encodes and collect reads run concurrently, and how many
+	// shards the exact accumulation folds on. 0 (the default) uses one
+	// worker per pooled connection for the I/O phases — every deadline
+	// window overlaps, the historical semantics — and GOMAXPROCS shards
+	// for accumulation; N > 0 caps both (note that capping I/O below the
+	// pool size stacks slow clients' deadline windows back to back).
+	// Aggregation results are bit-identical at every width: the exact
+	// accumulator is order- and grouping-invariant, and each connection's
+	// codec state is only ever touched by the worker holding its index
+	// (TestParallelAggregationBitIdentical pins this in the determinism
+	// gate).
+	Parallelism int
 
 	mu        sync.Mutex
 	bytesSent int64
@@ -248,35 +263,149 @@ func sortPool(pool []*serverConn) {
 	})
 }
 
+// Round-worker phases: the session's persistent pool runs one task bound
+// at construction, and the coordinator selects the work by setting phase
+// before each Pool.Run (per-phase closures would allocate every round, and
+// the construction-bound literal is what the slotrace analyzer checks).
+const (
+	phaseBroadcast = iota // encode + write bmsg to pool[i]
+	phaseCollect          // read + validate pool[i]'s round result
+	phaseAccum            // fold contribution chunk i into shards[i]
+)
+
+// roundStats batches one round's counter deltas so the round loop takes
+// the stats mutex once per round instead of once per broadcast, per drop,
+// per rejoin and per leaf-count publish — the parallel phases never touch
+// s.mu at all. Accumulated by the session's coordinating goroutine only;
+// flushStats publishes it.
+type roundStats struct {
+	bytesSent int64
+	bytesRecv int64
+	drops     int64
+	rejoins   int64
+	leaves    int64
+	leavesSet bool
+}
+
 // session is one Serve invocation's connection state: the accept loop's
-// join channel and the live client pool. Server.Serve and fed.Aggregator
+// join channel, the live client pool, the persistent round workers and the
+// session-owned scratch they write into. Server.Serve and fed.Aggregator
 // both run their child-facing protocol through it — an aggregator is a
 // Server session whose round results flow upward instead of into a mean.
+//
+// All scratch is cap-guarded: it grows to the high-water pool size once
+// and is reused every round after, so a steady-state round performs zero
+// allocations (BenchmarkServerRound gates this). The phase inputs (phase,
+// bmsg, round, numParams, nshards) are written by the coordinating
+// goroutine strictly before Pool.Run and the slot outputs read strictly
+// after it; the pool's release/join edges order both.
 type session struct {
 	s     *Server
 	joins chan *serverConn
 	pool  []*serverConn
+
+	workers *par.Pool
+	phase   int
+	bmsg    message // broadcast phase: the frame fanned out to the pool
+	round   int     // collect phase: the round being gathered
+	numPar  int     // collect phase: expected parameter count
+	nshards int     // accum phase: number of contribution chunks
+
+	errs        []error        // per-connection phase error (own slot)
+	ns          []int          // per-connection bytes moved (own slot)
+	updates     []contribution // per-connection collect result (own slot)
+	contribs    []contribution // survivors, in pool (ID, seq) order
+	shards      [][]nn.Accum   // per-chunk exact partial sums (own slot)
+	chunkLeaves []int          // per-chunk leaf totals (own slot)
+	stats       roundStats
 }
 
-// startSession spawns the accept loop and returns the session handle. The
-// caller must call close exactly once when the protocol is decided.
+// startSession spawns the accept loop, binds the persistent round workers'
+// task, and returns the session handle. The caller must call close exactly
+// once when the protocol is decided.
+//
+// The task literal is the session's only fan-out point, and it keeps the
+// own-slot discipline slotrace enforces: every write lands in a slot
+// selected by the task index (errs[i], ns[i], updates[i], chunkLeaves[i])
+// or in connection state reached through the own-slot pool entry — each
+// connection's codec shadows, scratch and reusable message belong to
+// exactly one index per phase, which is why parallel encode draws each
+// stochastic codec's rounding sequence exactly as the sequential loop
+// would.
 func (s *Server) startSession() *session {
-	ses := &session{s: s, joins: make(chan *serverConn, s.numClients)}
+	ses := s.newSession()
 	go s.acceptLoop(ses.joins)
 	return ses
 }
 
+// newSession builds the session state — worker pool, join channel, scratch
+// — without starting the accept loop, the seam the collect fuzz harness
+// uses to drive a session over hand-built connections.
+func (s *Server) newSession() *session {
+	ses := &session{s: s, joins: make(chan *serverConn, s.numClients)}
+	ses.workers = par.NewPool(func(i int) {
+		switch ses.phase {
+		case phaseBroadcast:
+			sc := ses.pool[i]
+			if s.WriteTimeout > 0 {
+				if err := sc.conn.SetWriteDeadline(s.now().Add(s.WriteTimeout)); err != nil {
+					ses.ns[i], ses.errs[i] = 0, err
+					return
+				}
+			}
+			ses.ns[i], ses.errs[i] = sc.tx.writeMessage(sc.w, ses.bmsg)
+		case phaseCollect:
+			ses.updates[i], ses.ns[i], ses.errs[i] = s.collectOne(ses.pool[i], ses.round, ses.numPar)
+		case phaseAccum:
+			lo, hi := chunkBounds(i, len(ses.contribs), ses.nshards)
+			ses.chunkLeaves[i] = accumulate(ses.shards[i], ses.contribs[lo:hi])
+		}
+	})
+	return ses
+}
+
 // close releases all connection state: it closes the listener to stop the
-// accept loop, drains the join channel, and closes every pooled connection.
-// The protocol outcome is already decided, so close errors carry no signal.
+// accept loop, retires the round workers, drains the join channel, and
+// closes every pooled connection. The protocol outcome is already decided,
+// so close errors carry no signal.
 func (ses *session) close() {
 	_ = ses.s.ln.Close()
+	ses.workers.Close()
 	for sc := range ses.joins {
 		_ = sc.conn.Close()
 	}
 	for _, sc := range ses.pool {
 		_ = sc.conn.Close()
 	}
+}
+
+// growScratch sizes the per-connection phase slots for a pool of n.
+func (ses *session) growScratch(n int) {
+	if cap(ses.errs) < n {
+		ses.errs = make([]error, n)
+		ses.ns = make([]int, n)
+		ses.updates = make([]contribution, n)
+	}
+	ses.errs = ses.errs[:n]
+	ses.ns = ses.ns[:n]
+	ses.updates = ses.updates[:n]
+}
+
+// flushStats publishes the round's batched counter deltas under one
+// acquisition of the stats mutex and clears them.
+func (ses *session) flushStats() {
+	st := &ses.stats
+	s := ses.s
+	s.mu.Lock()
+	s.bytesSent += st.bytesSent
+	s.bytesRecv += st.bytesRecv
+	s.drops += st.drops
+	s.rejoins += st.rejoins
+	if st.leavesSet {
+		s.leaves = st.leaves
+	}
+	s.mu.Unlock()
+	*st = roundStats{}
 }
 
 // waitCohort blocks until the initial cohort is fully joined — the paper's
@@ -294,22 +423,168 @@ func (ses *session) waitCohort() error {
 }
 
 // admit moves reconnected clients into the pool; alive is false once the
-// listener is down and the rejoin guarantee is gone.
+// listener is down and the rejoin guarantee is gone. Rejoins are batched
+// into the round's stats delta, not published per connection.
 func (ses *session) admit() (alive bool) {
-	ses.pool, alive = ses.s.admit(ses.pool, ses.joins)
-	return alive
+	for {
+		select {
+		case sc, ok := <-ses.joins:
+			if !ok {
+				return false
+			}
+			ses.pool = append(ses.pool, sc)
+			ses.stats.rejoins++
+			sortPool(ses.pool)
+		default:
+			return true
+		}
+	}
 }
 
-// broadcast fans m out to the pool, dropping unreachable clients.
+// drop removes a client from the protocol: close, count, observe. Called
+// from the coordinating goroutine only, after the phase workers joined.
+func (ses *session) drop(sc *serverConn, round int, err error) {
+	_ = sc.conn.Close()
+	ses.stats.drops++
+	if ses.s.OnDrop != nil {
+		ses.s.OnDrop(sc.id, round, err)
+	}
+}
+
+// broadcast writes m to every pooled client on the persistent round
+// workers (a slow client must not serialise the round start), each write
+// bounded by WriteTimeout, and keeps only the clients the write reached.
+// Unreachable clients are dropped, not fatal: whether the round can
+// proceed is the caller's quorum decision.
 func (ses *session) broadcast(m message, round int) {
-	ses.pool = ses.s.broadcast(ses.pool, m, round)
+	s := ses.s
+	n := len(ses.pool)
+	ses.growScratch(n)
+	ses.bmsg = m
+	ses.phase = phaseBroadcast
+	ses.workers.Run(s.ioWidth(n), n)
+	ses.bmsg = message{} // do not retain the caller's params past the phase
+	for _, nb := range ses.ns {
+		ses.stats.bytesSent += int64(nb)
+	}
+	alive := ses.pool[:0]
+	for i, sc := range ses.pool {
+		if ses.errs[i] != nil {
+			ses.drop(sc, round, &RoundError{Round: round, Phase: PhaseBroadcast, Client: int(sc.id), Err: ses.errs[i]})
+			continue
+		}
+		alive = append(alive, sc)
+	}
+	ses.pool = alive
 }
 
-// collect gathers the round's contributions from the pool.
+// collect reads one round result from every pooled client on the round
+// workers, each read bounded by RoundTimeout. It keeps the surviving pool,
+// stores the survivors' contributions in pool (ID, seq) order in the
+// session's reusable contribs slice, and returns them with the first
+// failure for quorum-abort diagnostics. Failed clients — deadline misses,
+// dead sockets, wrong round, wrong shape, malformed relay blocks — are
+// dropped; their connections are closed so a straggler's late frame can
+// never desynchronise a later round (the device rejoins with a fresh
+// connection instead). Byte accounting sums the bytes each complete,
+// accepted result actually put on the wire — under the dense codec exactly
+// TransferSize per leaf survivor, under the compressed codecs their true
+// (smaller) frame sizes, and for relays their exact-accumulator frames.
 func (ses *session) collect(round, numParams int) ([]contribution, error) {
-	pool, contribs, firstErr := ses.s.collect(ses.pool, round, numParams)
-	ses.pool = pool
+	n := len(ses.pool)
+	ses.growScratch(n)
+	ses.round, ses.numPar = round, numParams
+	ses.phase = phaseCollect
+	ses.workers.Run(ses.s.ioWidth(n), n)
+
+	alive := ses.pool[:0]
+	contribs := ses.contribs[:0]
+	var firstErr error
+	for i, sc := range ses.pool {
+		if ses.errs[i] != nil {
+			wrapped := &RoundError{Round: round, Phase: PhaseCollect, Client: int(sc.id), Err: ses.errs[i]}
+			if firstErr == nil {
+				firstErr = wrapped
+			}
+			ses.drop(sc, round, wrapped)
+			continue
+		}
+		alive = append(alive, sc)
+		contribs = append(contribs, ses.updates[i])
+		ses.stats.bytesRecv += int64(ses.ns[i])
+	}
+	ses.pool = alive
+	ses.contribs = contribs
 	return contribs, firstErr
+}
+
+// accumulate folds the round's contributions into acc by sharding them
+// across the round workers: each worker folds a contiguous chunk into its
+// own shard exactly, and the shards merge in chunk order. Because the
+// exact accumulator is associative in the strongest sense — every partial
+// sum is the true fixed-point sum of its inputs, with no rounding anywhere
+// — the sharded result is bit-identical to the sequential fold at every
+// width, an arithmetic identity rather than a tolerance. contribs must be
+// ses.contribs (the collect output), which the accum phase re-slices by
+// chunk.
+func (ses *session) accumulate(acc []nn.Accum, contribs []contribution) int {
+	k := ses.s.aggWidth(len(contribs))
+	if k <= 1 {
+		return accumulate(acc, contribs)
+	}
+	if cap(ses.shards) < k {
+		ses.shards = make([][]nn.Accum, k)
+		ses.chunkLeaves = make([]int, k)
+	}
+	ses.shards = ses.shards[:k]
+	ses.chunkLeaves = ses.chunkLeaves[:k]
+	for j := range ses.shards {
+		if len(ses.shards[j]) != len(acc) {
+			ses.shards[j] = make([]nn.Accum, len(acc))
+		}
+	}
+	ses.nshards = k
+	ses.phase = phaseAccum
+	ses.workers.Run(k, k)
+	total := 0
+	for i := range acc {
+		acc[i].Reset()
+	}
+	for j := 0; j < k; j++ {
+		nn.MergeAccum(acc, ses.shards[j])
+		total += ses.chunkLeaves[j]
+	}
+	return total
+}
+
+// chunkBounds splits n items into k contiguous chunks and returns chunk
+// i's half-open range. Chunks differ in size by at most one and preserve
+// order, so the shard merge replays the sequential fold's grouping.
+func chunkBounds(i, n, k int) (lo, hi int) {
+	return i * n / k, (i + 1) * n / k
+}
+
+// ioWidth is the worker width of the I/O phases over n connections:
+// unbounded by default so every deadline window overlaps.
+func (s *Server) ioWidth(n int) int {
+	w := s.Parallelism
+	if w <= 0 || w > n {
+		w = n
+	}
+	return w
+}
+
+// aggWidth is the shard count of the accumulation phase over n
+// contributions: CPU-bound work, so it defaults to GOMAXPROCS.
+func (s *Server) aggWidth(n int) int {
+	w := s.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
 }
 
 // contribution is one pooled connection's round result: either a leaf
@@ -323,10 +598,15 @@ type contribution struct {
 	leaves int
 }
 
-// accumulate folds the round's contributions into acc — resetting it first —
-// and returns the total leaf count. Leaf parameters are added exactly and
+// accumulate folds contributions into acc — resetting it first — and
+// returns the total leaf count. Leaf parameters are added exactly and
 // subtree sums merged exactly, so the result is the exact multiset sum over
-// every leaf device below this node, independent of topology.
+// every leaf device below this node, independent of topology. It is both
+// the sequential reference path and the per-shard kernel of the parallel
+// fold (session.accumulate), and the round's aggregation hot path: the
+// static proof below guarantees it never allocates.
+//
+//fedlint:allocfree
 func accumulate(acc []nn.Accum, contribs []contribution) int {
 	for i := range acc {
 		acc[i].Reset()
@@ -380,13 +660,13 @@ func (s *Server) Serve(initial []float64, hook RoundHook) ([]float64, error) {
 	for round := 1; round <= s.rounds; round++ {
 		contribs, rerr := s.round(ses, round, global)
 		if rerr != nil {
+			ses.flushStats()
 			return nil, rerr
 		}
-		total := accumulate(acc, contribs)
+		total := ses.accumulate(acc, contribs)
+		ses.stats.leaves, ses.stats.leavesSet = int64(total), true
+		ses.flushStats()
 		nn.MeanAccum(global, acc, total)
-		s.mu.Lock()
-		s.leaves = int64(total)
-		s.mu.Unlock()
 		if hook != nil {
 			hook(round, global)
 		}
@@ -395,6 +675,7 @@ func (s *Server) Serve(initial []float64, hook RoundHook) ([]float64, error) {
 	// Final model delivery is best-effort per client: a device that died
 	// after the last aggregation cannot invalidate the result.
 	ses.broadcast(message{kind: msgDone, round: s.rounds, params: global}, s.rounds)
+	ses.flushStats()
 	return global, nil
 }
 
@@ -436,128 +717,6 @@ func (s *Server) takeAcceptErr() error {
 		return fmt.Errorf("listener closed")
 	}
 	return s.acceptErr
-}
-
-// admit moves any reconnected devices from the accept loop into the pool.
-// alive is false once the accept loop has exited (listener closed or
-// broken): the federation can never re-admit a lost device again, which
-// means Close was called or the host is going down — Serve must abort
-// rather than run on silently without its rejoin guarantee.
-func (s *Server) admit(pool []*serverConn, joins <-chan *serverConn) (_ []*serverConn, alive bool) {
-	for {
-		select {
-		case sc, ok := <-joins:
-			if !ok {
-				return pool, false
-			}
-			pool = append(pool, sc)
-			s.mu.Lock()
-			s.rejoins++
-			s.mu.Unlock()
-			sortPool(pool)
-		default:
-			return pool, true
-		}
-	}
-}
-
-// drop removes a client from the protocol: close, count, observe.
-func (s *Server) drop(sc *serverConn, round int, err error) {
-	_ = sc.conn.Close()
-	s.mu.Lock()
-	s.drops++
-	s.mu.Unlock()
-	if s.OnDrop != nil {
-		s.OnDrop(sc.id, round, err)
-	}
-}
-
-// broadcast writes m to every pooled client concurrently (a slow client
-// must not serialise the round start), bounded by WriteTimeout, and returns
-// the clients the write reached. Unreachable clients are dropped, not
-// fatal: whether the round can proceed is the caller's quorum decision.
-func (s *Server) broadcast(pool []*serverConn, m message, round int) []*serverConn {
-	var wg sync.WaitGroup
-	errs := make([]error, len(pool))
-	sent := make([]int, len(pool))
-	for i, sc := range pool {
-		wg.Add(1)
-		go func(i int, sc *serverConn) {
-			defer wg.Done()
-			if s.WriteTimeout > 0 {
-				if err := sc.conn.SetWriteDeadline(s.now().Add(s.WriteTimeout)); err != nil {
-					errs[i] = err
-					return
-				}
-			}
-			n, err := sc.tx.writeMessage(sc.w, m)
-			sent[i] = n
-			errs[i] = err
-		}(i, sc)
-	}
-	wg.Wait()
-	s.mu.Lock()
-	for _, n := range sent {
-		s.bytesSent += int64(n)
-	}
-	s.mu.Unlock()
-	alive := pool[:0]
-	for i, sc := range pool {
-		if errs[i] != nil {
-			s.drop(sc, round, &RoundError{Round: round, Phase: PhaseBroadcast, Client: int(sc.id), Err: errs[i]})
-			continue
-		}
-		alive = append(alive, sc)
-	}
-	return alive
-}
-
-// collect reads one round result from every pooled client concurrently,
-// each read bounded by RoundTimeout. It returns the surviving pool, the
-// survivors' contributions in pool (ID, seq) order, and the first failure
-// for quorum-abort diagnostics. Failed clients — deadline misses, dead
-// sockets, wrong round, wrong shape, malformed relay blocks — are dropped;
-// their connections are closed so a straggler's late frame can never
-// desynchronise a later round (the device rejoins with a fresh connection
-// instead). Byte accounting sums the bytes each complete, accepted result
-// actually put on the wire — under the dense codec exactly TransferSize per
-// leaf survivor, under the compressed codecs their true (smaller) frame
-// sizes, and for relays their exact-accumulator frames.
-func (s *Server) collect(pool []*serverConn, round, numParams int) ([]*serverConn, []contribution, error) {
-	var wg sync.WaitGroup
-	errs := make([]error, len(pool))
-	updates := make([]contribution, len(pool))
-	recv := make([]int, len(pool))
-	for i, sc := range pool {
-		wg.Add(1)
-		go func(i, round int, sc *serverConn) {
-			defer wg.Done()
-			updates[i], recv[i], errs[i] = s.collectOne(sc, round, numParams)
-		}(i, round, sc)
-	}
-	wg.Wait()
-
-	alive := pool[:0]
-	var contribs []contribution
-	var firstErr error
-	var received int64
-	for i, sc := range pool {
-		if errs[i] != nil {
-			wrapped := &RoundError{Round: round, Phase: PhaseCollect, Client: int(sc.id), Err: errs[i]}
-			if firstErr == nil {
-				firstErr = wrapped
-			}
-			s.drop(sc, round, wrapped)
-			continue
-		}
-		alive = append(alive, sc)
-		contribs = append(contribs, updates[i])
-		received += int64(recv[i])
-	}
-	s.mu.Lock()
-	s.bytesRecv += received
-	s.mu.Unlock()
-	return alive, contribs, firstErr
 }
 
 // collectOne reads and validates a single client's round result — a leaf

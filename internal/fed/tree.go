@@ -110,8 +110,11 @@ func ParseTopology(s string) (*TreeNode, error) {
 type TreeConfig struct {
 	// Rounds is the number of federated rounds; it must be positive.
 	Rounds int
-	// Parallelism bounds how many leaves train concurrently; 0 means
-	// sequential (width 1), matching RunParallel's convention.
+	// Parallelism bounds how many leaves train concurrently and how many
+	// child subtrees aggregate concurrently at each node; 0 means
+	// sequential (width 1), matching RunParallel's convention. Every
+	// width produces bit-identical parameters: subtree sums are exact and
+	// merged in child order.
 	Parallelism int
 	// Codec applies the wire-emulation codec on every root↔leaf parameter
 	// path, with each leaf's streams seeded by its global leaf index —
@@ -125,13 +128,18 @@ type TreeConfig struct {
 }
 
 // treeState is one node's prepared aggregation state: its exact accumulator
-// vector and the global index range of its direct leaves, reused across
-// rounds.
+// vector, the global index range of its direct leaves, and the node's own
+// relay-hop scratch, all reused across rounds. Scratch is per node — not
+// threaded through the recursion — so sibling subtrees can resolve their
+// sums concurrently without sharing mutable state.
 type treeState struct {
-	node     *TreeNode
-	acc      []nn.Accum
-	children []*treeState
-	leafLo   int
+	node        *TreeNode
+	acc         []nn.Accum
+	children    []*treeState
+	childLeaves []int // per-child subtree leaf counts (own slot per task)
+	leafLo      int
+	scratch     []byte   // relay-hop wire buffer for merging child sums
+	tmp         nn.Accum // relay-hop decode target
 }
 
 // buildTreeState assigns global leaf indices in depth-first pre-order (a
@@ -143,15 +151,19 @@ func buildTreeState(t *TreeNode, numParams int, nextLeaf *int) *treeState {
 	for _, c := range t.Children {
 		st.children = append(st.children, buildTreeState(c, numParams, nextLeaf))
 	}
+	st.childLeaves = make([]int, len(st.children))
 	return st
 }
 
 // sum computes the node's exact per-parameter subtree sums into st.acc and
-// returns the subtree leaf count. Child results cross an emulated relay hop
-// — encoded with nn's accumulator wire format and decoded back — so the
+// returns the subtree leaf count. Child subtrees resolve their own sums
+// first — up to width concurrently, each child state owned by its task —
+// then the child results cross an emulated relay hop in child order:
+// encoded with nn's accumulator wire format and decoded back, so the
 // in-process tree exercises the same exact-relay arithmetic as the TCP
-// aggregators, not a shortcut around it.
-func (st *treeState) sum(locals [][]float64, scratch *[]byte, tmp *nn.Accum) (int, error) {
+// aggregators, not a shortcut around it. The ordered merge plus exact
+// child sums make the result bit-identical at every width.
+func (st *treeState) sum(locals [][]float64, width int) (int, error) {
 	for i := range st.acc {
 		st.acc[i].Reset()
 	}
@@ -159,20 +171,31 @@ func (st *treeState) sum(locals [][]float64, scratch *[]byte, tmp *nn.Accum) (in
 		nn.AddParamsAccum(st.acc, locals[st.leafLo+l])
 	}
 	total := st.node.Leaves
-	for _, c := range st.children {
-		leaves, err := c.sum(locals, scratch, tmp)
+	if len(st.children) == 0 {
+		return total, nil
+	}
+	err := par.ForEach(width, len(st.children), func(i int) error {
+		c := st.children[i]
+		leaves, err := c.sum(locals, width)
 		if err != nil {
-			return 0, err
+			return err
 		}
+		st.childLeaves[i] = leaves
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for ci, c := range st.children {
 		for i := range c.acc {
-			buf := c.acc[i].AppendWire((*scratch)[:0])
-			*scratch = buf[:0]
-			if _, err := nn.DecodeAccumInto(tmp, buf); err != nil {
+			buf := c.acc[i].AppendWire(st.scratch[:0])
+			st.scratch = buf[:0]
+			if _, err := nn.DecodeAccumInto(&st.tmp, buf); err != nil {
 				return 0, fmt.Errorf("fed: relay hop: %w", err)
 			}
-			st.acc[i].AddAccum(tmp)
+			st.acc[i].AddAccum(&st.tmp)
 		}
-		total += leaves
+		total += st.childLeaves[ci]
 	}
 	return total, nil
 }
@@ -211,8 +234,6 @@ func RunTree(global []float64, clients []Client, topo *TreeNode, cfg TreeConfig)
 	broadcast := make([]float64, len(global))
 	var nextLeaf int
 	root := buildTreeState(topo, len(global), &nextLeaf)
-	var scratch []byte
-	var tmp nn.Accum
 
 	for r := 1; r <= cfg.Rounds; r++ {
 		copy(broadcast, global)
@@ -244,7 +265,7 @@ func RunTree(global []float64, clients []Client, topo *TreeNode, cfg TreeConfig)
 		if err != nil {
 			return err
 		}
-		total, err := root.sum(locals, &scratch, &tmp)
+		total, err := root.sum(locals, width)
 		if err != nil {
 			return err
 		}

@@ -14,7 +14,7 @@ func effectmodSuite() []Analyzer {
 	return []Analyzer{
 		AllocFree{},
 		MapOrder{},
-		SlotRace{ForEach: []string{"effectmod/par.ForEach"}},
+		SlotRace{ForEach: []string{"effectmod/par.ForEach", "effectmod/par.NewPool"}},
 	}
 }
 
@@ -98,9 +98,10 @@ func TestEffectFixtureShape(t *testing.T) {
 	if n := byFile["agg.go"]["maporder"]; n != 2 {
 		t.Errorf("agg.go maporder findings = %d, want 2 (float fold + returned slice)", n)
 	}
-	// fan.go: direct shared write and the helper-hidden one.
-	if n := byFile["fan.go"]["slotrace"]; n != 2 {
-		t.Errorf("fan.go slotrace findings = %d, want 2 (direct write + via helper)", n)
+	// fan.go: direct shared write, the helper-hidden one, and the
+	// persistent-pool task bound to a shared accumulator.
+	if n := byFile["fan.go"]["slotrace"]; n != 3 {
+		t.Errorf("fan.go slotrace findings = %d, want 3 (direct write + via helper + pooled task)", n)
 	}
 	if n := byFile["par.go"]; len(n) != 0 {
 		t.Errorf("fixture pool package flagged: %v", n)
@@ -123,7 +124,7 @@ func TestEffectFixtureShape(t *testing.T) {
 				t.Errorf("interprocedural slotrace finding lost its effect chain: %s", d)
 			}
 		}
-		for _, clean := range []string{"FillInto", "SortedKeys", "MeanSorted", "ScaleOwnSlot"} {
+		for _, clean := range []string{"FillInto", "SortedKeys", "MeanSorted", "ScaleOwnSlot", "ScalePooledOwnSlot"} {
 			if strings.Contains(d.Message, clean) {
 				t.Errorf("clean counterpart %s flagged: %s", clean, d)
 			}
@@ -149,8 +150,8 @@ func TestEffectRealModuleClean(t *testing.T) {
 	// The theorem must not be vacuous: the hot-path roots and the fan-out
 	// point must resolve.
 	roots, dangling := collectAllocFreeRoots(mod)
-	if len(roots) < 8 {
-		t.Errorf("only %d //fedlint:allocfree roots found, want the 8 annotated hot paths", len(roots))
+	if len(roots) < 9 {
+		t.Errorf("only %d //fedlint:allocfree roots found, want the 9 annotated hot paths", len(roots))
 	}
 	if len(dangling) != 0 {
 		t.Errorf("dangling //fedlint:allocfree directives at %v", dangling)

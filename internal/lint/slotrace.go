@@ -33,14 +33,16 @@ import (
 // privacytaint's paths.
 type SlotRace struct {
 	// ForEach lists the fan-out functions (types.Func.FullName form) whose
-	// final func(i int) error argument is an own-slot task. DefaultSuite
-	// installs fedpower/internal/par.ForEach.
+	// final function-literal argument is an own-slot task: par.ForEach's
+	// func(i int) error and par.NewPool's func(i int), which binds the task
+	// a persistent pool runs every phase. DefaultSuite installs both.
 	ForEach []string
 }
 
-// DefaultSlotRaceConfig names the repo's single fan-out point.
+// DefaultSlotRaceConfig names the repo's fan-out points: the per-call pool
+// and the persistent pool whose task is fixed at construction.
 func DefaultSlotRaceConfig() []string {
-	return []string{"fedpower/internal/par.ForEach"}
+	return []string{"fedpower/internal/par.ForEach", "fedpower/internal/par.NewPool"}
 }
 
 func (SlotRace) Name() string { return "slotrace" }

@@ -48,3 +48,32 @@ func ScaleOwnSlot(vals []float64) float64 {
 	}
 	return total
 }
+
+// SumPooled binds a persistent pool's task to a shared accumulator — the
+// seeded NewPool violation: the task captured at construction writes the
+// same variable from every phase worker.
+func SumPooled(vals []float64) float64 {
+	total := 0.0
+	p := par.NewPool(func(i int) {
+		total += vals[i]
+	})
+	p.Run(4, len(vals))
+	p.Close()
+	return total
+}
+
+// ScalePooledOwnSlot is the clean persistent-pool counterpart: the bound
+// task writes only its own slot, and the caller folds after the phase.
+func ScalePooledOwnSlot(vals []float64) float64 {
+	out := make([]float64, len(vals))
+	p := par.NewPool(func(i int) {
+		out[i] = vals[i] * 2
+	})
+	p.Run(4, len(vals))
+	p.Close()
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}

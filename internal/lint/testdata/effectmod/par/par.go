@@ -13,3 +13,25 @@ func ForEach(width, n int, task func(i int) error) error {
 	}
 	return nil
 }
+
+// Pool mirrors the persistent worker pool: the task is fixed at
+// construction and re-run every phase, so the own-slot contract binds at
+// NewPool rather than at each Run.
+type Pool struct {
+	task func(i int)
+}
+
+// NewPool is the second fan-out point named in the SlotRace config.
+func NewPool(task func(i int)) *Pool {
+	return &Pool{task: task}
+}
+
+// Run executes task(0..n-1) for one phase.
+func (p *Pool) Run(width, n int) {
+	for i := 0; i < n; i++ {
+		p.task(i)
+	}
+}
+
+// Close releases the pool.
+func (p *Pool) Close() {}

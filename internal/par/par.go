@@ -115,3 +115,136 @@ func runTask(task func(i int) error, i int, pans []*TaskPanic) (err error) {
 	}()
 	return task(i)
 }
+
+// Pool is a persistent worker pool whose task is fixed at construction:
+// the allocation-free counterpart of ForEach for hot loops that fan out
+// every iteration (the server's per-round broadcast/collect/accumulate
+// phases). A ForEach call allocates its error and panic slots and spawns
+// fresh workers on every invocation; a Pool spawns each worker once, keeps
+// it parked on a channel between phases, and reuses its panic scratch, so
+// a steady-state Run performs zero allocations.
+//
+// The task obeys the same own-slot discipline as a ForEach task (the
+// slotrace analyzer checks literals passed to NewPool exactly like ForEach
+// tasks): it may only write state owned by its index, and consumers read
+// the slots in index order after Run returns. Because the task is bound
+// once, per-phase inputs travel through state the task reads — written by
+// the coordinating goroutine strictly before Run and read strictly after
+// the workers park again, with the release channel and the join barrier
+// supplying the happens-before edges in each direction.
+//
+// Unlike ForEach the task returns no error: a pool phase is infallible
+// control flow, and per-index failures belong in an own-slot error slice
+// the coordinator folds after the join (which is how the server uses it).
+// Panics keep ForEach's contract: every index still runs, and the
+// lowest-index *TaskPanic is re-raised on the caller after the join.
+//
+// A Pool is owned by one coordinating goroutine: Run and Close must not be
+// called concurrently.
+type Pool struct {
+	task    func(i int)
+	work    chan struct{} // one token releases one worker for one phase
+	done    sync.WaitGroup
+	next    atomic.Int64
+	n       int
+	workers int // goroutines spawned so far; grows to the widest Run
+	pans    []*TaskPanic
+}
+
+// NewPool returns a pool that will run task under the own-slot contract.
+// No workers are spawned until the first parallel Run, so an idle pool
+// (or one only ever run at width 1) costs nothing.
+func NewPool(task func(i int)) *Pool {
+	return &Pool{task: task, work: make(chan struct{})}
+}
+
+// Run executes task(i) for every i in [0, n) using up to width concurrent
+// workers and returns once all n have finished. With width <= 1 or n == 1
+// the tasks run inline on the calling goroutine — the sequential mode the
+// bit-identity tests compare against. Workers are spawned lazily up to the
+// widest width seen and kept for the pool's lifetime, so a steady-state
+// Run allocates nothing.
+func (p *Pool) Run(width, n int) {
+	if n <= 0 {
+		return
+	}
+	if width > n {
+		width = n
+	}
+	if width <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			p.runInline(i)
+		}
+		return
+	}
+	if cap(p.pans) < n {
+		// Panic slots are nil except between a panic and its re-raise (which
+		// clears them), so growth is the only allocation Run can perform.
+		p.pans = make([]*TaskPanic, n)
+	}
+	p.pans = p.pans[:n]
+	p.n = n
+	p.next.Store(0)
+	for p.workers < width {
+		p.workers++
+		go p.worker()
+	}
+	p.done.Add(width)
+	for i := 0; i < width; i++ {
+		p.work <- struct{}{}
+	}
+	p.done.Wait()
+	for i := 0; i < n; i++ {
+		if tp := p.pans[i]; tp != nil {
+			for j := range p.pans {
+				p.pans[j] = nil
+			}
+			panic(tp)
+		}
+	}
+}
+
+// Close releases the pool's workers. The pool must not be run again.
+func (p *Pool) Close() {
+	close(p.work)
+}
+
+// worker parks on the release channel between phases; each token releases
+// it for one phase, in which it drains indices from the shared counter and
+// then rejoins the barrier. Receiving the token also publishes the
+// coordinator's phase state (task inputs, n, cleared panic slots) to this
+// worker, and the barrier publishes the worker's slot writes back.
+func (p *Pool) worker() {
+	for range p.work {
+		for {
+			i := int(p.next.Add(1)) - 1
+			if i >= p.n {
+				break
+			}
+			p.runOne(i)
+		}
+		p.done.Done()
+	}
+}
+
+// runOne executes task(i) in parallel mode, parking a panic in the task's
+// own slot so the worker survives to the join barrier.
+func (p *Pool) runOne(i int) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.pans[i] = &TaskPanic{Index: i, Value: v}
+		}
+	}()
+	p.task(i)
+}
+
+// runInline executes task(i) on the caller, re-raising a panic immediately
+// as a *TaskPanic — the sequential mode's contract, matching runTask.
+func (p *Pool) runInline(i int) {
+	defer func() {
+		if v := recover(); v != nil {
+			panic(&TaskPanic{Index: i, Value: v})
+		}
+	}()
+	p.task(i)
+}

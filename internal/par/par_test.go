@@ -141,3 +141,116 @@ func TestForEachSlotWritesPublished(t *testing.T) {
 		}
 	}
 }
+
+// TestPoolRunsEveryIndexOnce: a persistent pool must cover every index
+// exactly once per phase at any width, including widths above n and the
+// inline sequential mode, across many reuses of the same workers.
+func TestPoolRunsEveryIndexOnce(t *testing.T) {
+	for _, width := range []int{0, 1, 2, 4, 16, 100} {
+		n := 37
+		counts := make([]atomic.Int64, n)
+		p := NewPool(func(i int) { counts[i].Add(1) })
+		for phase := 1; phase <= 3; phase++ {
+			p.Run(width, n)
+			for i := range counts {
+				if c := counts[i].Load(); c != int64(phase) {
+					t.Fatalf("width %d phase %d: task %d ran %d times", width, phase, i, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolPhaseSizesVary: one pool must serve phases of different sizes
+// and widths back to back — the server's broadcast (pool-sized) and
+// accumulate (shard-count-sized) phases share one pool.
+func TestPoolPhaseSizesVary(t *testing.T) {
+	var total atomic.Int64
+	p := NewPool(func(i int) { total.Add(int64(i) + 1) })
+	defer p.Close()
+	want := int64(0)
+	for _, n := range []int{5, 64, 1, 0, 17, 64} {
+		p.Run(8, n)
+		want += int64(n) * int64(n+1) / 2
+	}
+	if got := total.Load(); got != want {
+		t.Fatalf("phases summed %d, want %d", got, want)
+	}
+}
+
+// TestPoolSlotWritesPublished: writes a task makes to its own slot must be
+// visible to the coordinator after Run returns (the join barrier is the
+// happens-before edge), and coordinator writes between phases must be
+// visible to the workers (the release token is the other edge).
+func TestPoolSlotWritesPublished(t *testing.T) {
+	n := 64
+	in := make([]int, n)
+	out := make([]int, n)
+	p := NewPool(func(i int) { out[i] = in[i] * 2 })
+	defer p.Close()
+	for phase := 1; phase <= 4; phase++ {
+		for i := range in {
+			in[i] = phase*1000 + i
+		}
+		p.Run(8, n)
+		for i := range out {
+			if out[i] != in[i]*2 {
+				t.Fatalf("phase %d: slot %d = %d, want %d", phase, i, out[i], in[i]*2)
+			}
+		}
+	}
+}
+
+// TestPoolPanicLowestIndexWins: a panicking task must not strand the pool,
+// every index still runs, and the lowest-index panic is re-raised as a
+// *TaskPanic — after which the pool remains usable.
+func TestPoolPanicLowestIndexWins(t *testing.T) {
+	for _, width := range []int{1, 2, 8} {
+		n := 20
+		counts := make([]atomic.Int64, n)
+		p := NewPool(func(i int) {
+			counts[i].Add(1)
+			if i == 5 || i == 11 {
+				panic(fmt.Sprintf("task %d exploded", i))
+			}
+		})
+		func() {
+			defer func() {
+				v := recover()
+				tp, ok := v.(*TaskPanic)
+				if !ok {
+					t.Fatalf("width %d: recovered %T (%v), want *TaskPanic", width, v, v)
+				}
+				// Width 1 stops at the first panic like a plain loop, so index
+				// 5 is the only possible panic; parallel mode runs every index
+				// and must still report the lowest.
+				if tp.Index != 5 {
+					t.Fatalf("width %d: panic from task %d, want lowest index 5", width, tp.Index)
+				}
+			}()
+			p.Run(width, n)
+		}()
+		if width > 1 {
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("width %d: task %d ran %d times despite sibling panic", width, i, c)
+				}
+			}
+		}
+		// The pool must survive the panic: the next phase runs normally.
+		clean := true
+		func() {
+			defer func() {
+				if recover() != nil {
+					clean = false
+				}
+			}()
+			p.Run(width, 5)
+		}()
+		if width == 1 && !clean {
+			t.Fatalf("width 1: pool unusable after recovered panic")
+		}
+		p.Close()
+	}
+}

@@ -23,6 +23,12 @@
 #                                 paper's model size); every fan-out is
 #                                 recorded and gated — the relay hot path
 #                                 is allocation-free like the wire path
+#   BenchmarkServerRound        — one complete federated round (broadcast,
+#                                 collect, exact accumulate, mean) over TCP
+#                                 loopback with 8 devices, dense and quant8;
+#                                 both are gated and must stay 0 allocs/op —
+#                                 the persistent round workers and session
+#                                 scratch keep the whole plane off the heap
 #   BenchmarkEffectAnalysis     — one effect-and-allocation analysis pass
 #                                 (allocfree + maporder + slotrace) over
 #                                 the module; the static proofs must stay
@@ -51,7 +57,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN='BenchmarkControlStepLatency$|BenchmarkPolicyUpdate$|BenchmarkPolicyUpdateBatch$|BenchmarkReplayAdd$|BenchmarkWireEncode$|BenchmarkWireDecode$|BenchmarkWireRoundTrip$|BenchmarkTreeAggregate$|BenchmarkEffectAnalysis$|BenchmarkWireBound$'
+PATTERN='BenchmarkControlStepLatency$|BenchmarkPolicyUpdate$|BenchmarkPolicyUpdateBatch$|BenchmarkReplayAdd$|BenchmarkWireEncode$|BenchmarkWireDecode$|BenchmarkWireRoundTrip$|BenchmarkTreeAggregate$|BenchmarkServerRound$|BenchmarkEffectAnalysis$|BenchmarkWireBound$'
 BUDGET_PCT="${BENCH_BUDGET_PCT:-20}"
 COUNT="${BENCH_COUNT:-3}"
 BASELINE="BENCH_baseline.json"
@@ -133,6 +139,7 @@ for name in BenchmarkControlStepLatency BenchmarkPolicyUpdate \
             BenchmarkWireEncode/dense BenchmarkWireDecode/dense BenchmarkWireRoundTrip/dense \
             BenchmarkTreeAggregate/fanout2 BenchmarkTreeAggregate/fanout4 \
             BenchmarkTreeAggregate/fanout8 BenchmarkTreeAggregate/fanout16 \
+            BenchmarkServerRound/dense BenchmarkServerRound/quant8 \
             BenchmarkEffectAnalysis BenchmarkWireBound; do
   cur_ns="$(json_field "$OUT" "$name" ns_per_op)"
   cur_allocs="$(json_field "$OUT" "$name" allocs_per_op)"

@@ -37,7 +37,14 @@
 #                        the batched-kernel identity (ForwardBatch /
 #                        BackwardBatch and the batched controller update
 #                        must reproduce the scalar kernels bit-for-bit,
-#                        including a whole Fig. 3 scenario)
+#                        including a whole Fig. 3 scenario), and the
+#                        parallel-aggregation identity (the server's round
+#                        workers at widths 1/2/8, per codec, and the TCP
+#                        tree deployment at Parallelism 4 must reproduce
+#                        the sequential runs bit-for-bit)
+#   9. parallel smoke  — one multi-worker fleet-scale run through the
+#                        fedpower CLI (-parallel 4), exercising the whole
+#                        parallel aggregation plane end to end
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,7 +86,10 @@ go test -run '^$' -fuzz 'FuzzRelayFrame$' -fuzztime "${FUZZ_SMOKE}s" ./internal/
 echo "==> go test -bench . -benchtime 1x (bench compile smoke)"
 go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
 
-echo "==> go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical|BatchBitIdentical' -count=2 (determinism replay)"
-go test -run 'Resilience|ParallelMatchesSequential|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical|BatchBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/... ./internal/nn/... ./internal/core/... .
+echo "==> go test -run 'Resilience|ParallelMatchesSequential|ParallelAggregation|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical|BatchBitIdentical' -count=2 (determinism replay)"
+go test -run 'Resilience|ParallelMatchesSequential|ParallelAggregation|CodecDenseBitIdentical|CodecDeltaBitIdentical|TreeBitIdentical|BatchBitIdentical' -count=2 ./internal/fed/... ./internal/experiment/... ./internal/nn/... ./internal/core/... .
+
+echo "==> fedpower tree -parallel 4 (multi-worker fleet smoke)"
+go run ./cmd/fedpower -topology 1x48 -parallel 4 -rounds 2 -codec dense tree
 
 echo "==> all checks passed"
